@@ -1,0 +1,308 @@
+package memcnn_test
+
+// Benchmark harness: one testing.B benchmark per table/figure of the paper's
+// evaluation section.  Each benchmark regenerates its experiment from the GPU
+// performance model and reports the headline quantity of that experiment as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the shape of the
+// published results in one run.  See EXPERIMENTS.md for the side-by-side
+// comparison with the published numbers.
+
+import (
+	"math"
+	"testing"
+
+	"memcnn/internal/bench"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layout"
+)
+
+func device() *gpusim.Device        { return gpusim.TitanBlack() }
+func thresholds() layout.Thresholds { return layout.TitanBlackThresholds() }
+
+// BenchmarkTable1Inventory enumerates the benchmark layer configurations.
+func BenchmarkTable1Inventory(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t := bench.Table1Inventory()
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "layers")
+}
+
+// BenchmarkFigure1 regenerates Fig. 1 (layout comparison on AlexNet layers).
+func BenchmarkFigure1(b *testing.B) {
+	d := device()
+	var maxRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure1(d)
+		maxRatio = 0
+		for _, r := range rows {
+			if r.NCHWNormalized > maxRatio {
+				maxRatio = r.NCHWNormalized
+			}
+		}
+	}
+	b.ReportMetric(maxRatio, "max_NCHW/CHWN")
+}
+
+// BenchmarkFigure3 regenerates Fig. 3 (layout comparison on Table 1 convolutions).
+func BenchmarkFigure3(b *testing.B) {
+	d := device()
+	var chwnWins int
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure3(d)
+		chwnWins = 0
+		for _, r := range rows {
+			if r.CHWNWins {
+				chwnWins++
+			}
+		}
+	}
+	b.ReportMetric(float64(chwnWins), "CHWN_wins_of_12")
+}
+
+// BenchmarkFigure4N regenerates Fig. 4a (batch-size sensitivity).
+func BenchmarkFigure4N(b *testing.B) {
+	d := device()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure4N(d)
+		peak = rows[len(rows)-1].CHWNGflops
+	}
+	b.ReportMetric(peak, "CHWN_GFLOPS@N=512")
+}
+
+// BenchmarkFigure4C regenerates Fig. 4b (channel-count sensitivity).
+func BenchmarkFigure4C(b *testing.B) {
+	d := device()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure4C(d)
+		peak = rows[len(rows)-1].NCHWGflops
+	}
+	b.ReportMetric(peak, "NCHW_GFLOPS@C=256")
+}
+
+// BenchmarkFigure5 regenerates Fig. 5 (FFT-based convolution modes).
+func BenchmarkFigure5(b *testing.B) {
+	d := device()
+	var oom int
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure5(d)
+		oom = 0
+		for _, r := range rows {
+			if r.FFTOOM {
+				oom++
+			}
+		}
+	}
+	b.ReportMetric(float64(oom), "FFT_OOM_layers")
+}
+
+// BenchmarkFigure6 regenerates Fig. 6 (pooling layout comparison).
+func BenchmarkFigure6(b *testing.B) {
+	d := device()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure6(d)
+		worst = 1
+		for _, r := range rows {
+			if r.CuDNNSpeedup < worst {
+				worst = r.CuDNNSpeedup
+			}
+		}
+	}
+	b.ReportMetric(1/worst, "max_CHWN_speedup_vs_cuDNN")
+}
+
+// BenchmarkFigure10 regenerates Fig. 10 (layout benefit vs transform overhead).
+func BenchmarkFigure10(b *testing.B) {
+	d := device()
+	var geomean float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure10(d)
+		prod := 1.0
+		for _, r := range rows {
+			prod *= r.OptTransSpeedup
+		}
+		geomean = pow(prod, 1/float64(len(rows)))
+	}
+	b.ReportMetric(geomean, "gm_speedup_with_opt_transform")
+}
+
+// BenchmarkFigure11 regenerates Fig. 11 (transformation bandwidth).
+func BenchmarkFigure11(b *testing.B) {
+	d := device()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure11(d)
+		best = 0
+		for _, r := range rows {
+			if r.VecGBs > best {
+				best = r.VecGBs
+			}
+		}
+	}
+	b.ReportMetric(best, "best_transform_GB/s")
+}
+
+// BenchmarkFigure12 regenerates Fig. 12 (optimised pooling).
+func BenchmarkFigure12(b *testing.B) {
+	d := device()
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure12(d)
+		sum := 0.0
+		for _, r := range rows {
+			sum += r.OptBandwidthGB
+		}
+		avg = sum / float64(len(rows))
+	}
+	b.ReportMetric(avg, "avg_opt_pool_GB/s")
+}
+
+// BenchmarkFigure13 regenerates Fig. 13 (softmax bandwidth).
+func BenchmarkFigure13(b *testing.B) {
+	d := device()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.Figure13(d)
+		best = 0
+		for _, r := range rows {
+			if r.OptGBs > best {
+				best = r.OptGBs
+			}
+		}
+	}
+	b.ReportMetric(best, "best_softmax_GB/s")
+}
+
+// BenchmarkFigure14 regenerates Fig. 14 (whole-network comparison).
+func BenchmarkFigure14(b *testing.B) {
+	d := device()
+	th := thresholds()
+	var lenetSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.Figure14(d, th)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lenetSpeedup = rows[0].Speedups["Opt"]
+	}
+	b.ReportMetric(lenetSpeedup, "LeNet_Opt_vs_cuDNN-MM")
+}
+
+// BenchmarkFigure15 regenerates Fig. 15 (AlexNet per-layer breakdown).
+func BenchmarkFigure15(b *testing.B) {
+	d := device()
+	th := thresholds()
+	var softmaxSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.Figure15(d, th)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Layer == "prob" {
+				softmaxSpeedup = r.OptSpeedup
+			}
+		}
+	}
+	b.ReportMetric(softmaxSpeedup, "softmax_Opt_vs_cuDNN")
+}
+
+// BenchmarkThresholdCalibration regenerates the (Ct, Nt) calibration.
+func BenchmarkThresholdCalibration(b *testing.B) {
+	var ct float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.ThresholdCalibration()
+		ct = float64(rows[0].Calibrated.Ct)
+	}
+	b.ReportMetric(ct, "TitanBlack_Ct")
+}
+
+// BenchmarkTitanX regenerates the Section VI.C Titan X summary.
+func BenchmarkTitanX(b *testing.B) {
+	var vggOverCC float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.TitanXSummary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		vggOverCC = rows[1].OverCudaConvnet
+	}
+	b.ReportMetric(vggOverCC, "VGG_Opt_vs_cuda-convnet")
+}
+
+// BenchmarkSoftmaxAblation regenerates the fusion/parallelisation ablation.
+func BenchmarkSoftmaxAblation(b *testing.B) {
+	d := device()
+	var geomeanFusion float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.SoftmaxAblation(d)
+		prod := 1.0
+		for _, r := range rows {
+			prod *= r.FusionSpeedup
+		}
+		geomeanFusion = pow(prod, 1/float64(len(rows)))
+	}
+	b.ReportMetric(geomeanFusion, "gm_fusion_speedup")
+}
+
+// BenchmarkPoolingAblation regenerates the auto-tuner ablation.
+func BenchmarkPoolingAblation(b *testing.B) {
+	d := device()
+	var probes float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.PoolingAblation(d)
+		probes = 0
+		for _, r := range rows {
+			probes += float64(r.TunedProbes)
+		}
+		probes /= float64(len(rows))
+	}
+	b.ReportMetric(probes, "avg_hillclimb_probes")
+}
+
+// BenchmarkTrainingStep prices complete forward-backward iterations of the
+// Table 1 convolutions and checks the layout preference carries over to
+// training (the paper's footnote 1 and its forward-backward profiling).
+func BenchmarkTrainingStep(b *testing.B) {
+	d := device()
+	var agree float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.TrainingStep(d)
+		agree = 0
+		for _, r := range rows {
+			if r.SamePreference {
+				agree++
+			}
+		}
+	}
+	b.ReportMetric(agree, "same_preference_of_12")
+}
+
+// BenchmarkHeuristicAccuracy checks the heuristic against the model oracle.
+func BenchmarkHeuristicAccuracy(b *testing.B) {
+	d := device()
+	th := thresholds()
+	var agree float64
+	for i := 0; i < b.N; i++ {
+		rows, _ := bench.HeuristicAccuracy(d, th)
+		agree = 0
+		for _, r := range rows {
+			if r.Agree {
+				agree++
+			}
+		}
+	}
+	b.ReportMetric(agree, "agreements_of_12")
+}
+
+// pow computes the geometric-mean root used by several benchmarks.
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}

@@ -1,0 +1,108 @@
+// Command layerbench runs the single-layer experiments of the paper (the
+// figures built from Table 1 layers) on the GPU performance model and prints
+// the resulting tables.
+//
+// Usage:
+//
+//	layerbench -list
+//	layerbench -experiment fig3
+//	layerbench -experiment all -device titanx
+//	layerbench -experiment fig14 -thresholds calibrated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memcnn/internal/bench"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layout"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (see -list) or 'all'")
+		deviceName = flag.String("device", "titanblack", "GPU model: titanblack or titanx")
+		thresholds = flag.String("thresholds", "paper", "layout thresholds: 'paper' or 'calibrated'")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	dev, err := pickDevice(*deviceName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	th, err := pickThresholds(*thresholds, dev)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	experiments := bench.Experiments(dev, th)
+	names := bench.ExperimentNames(dev, th)
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, n := range names {
+			fmt.Println("  " + n)
+		}
+		return
+	}
+
+	fmt.Printf("device: %s\nlayout thresholds: %v\n\n", dev.Name, th)
+
+	run := func(name string) error {
+		fn, ok := experiments[name]
+		if !ok {
+			return fmt.Errorf("layerbench: unknown experiment %q (use -list)", name)
+		}
+		table, err := fn()
+		if err != nil {
+			return fmt.Errorf("layerbench: %s: %w", name, err)
+		}
+		fmt.Printf("== %s ==\n%s\n", name, table)
+		return nil
+	}
+
+	if strings.EqualFold(*experiment, "all") {
+		for _, n := range names {
+			if err := run(n); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*experiment); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func pickDevice(name string) (*gpusim.Device, error) {
+	switch strings.ToLower(name) {
+	case "titanblack", "titan-black", "black":
+		return gpusim.TitanBlack(), nil
+	case "titanx", "titan-x", "x":
+		return gpusim.TitanX(), nil
+	default:
+		return nil, fmt.Errorf("layerbench: unknown device %q (want titanblack or titanx)", name)
+	}
+}
+
+func pickThresholds(kind string, dev *gpusim.Device) (layout.Thresholds, error) {
+	switch strings.ToLower(kind) {
+	case "paper":
+		if strings.Contains(dev.Name, "Titan X") {
+			return layout.TitanXThresholds(), nil
+		}
+		return layout.TitanBlackThresholds(), nil
+	case "calibrated", "auto":
+		return layout.Calibrate(dev), nil
+	default:
+		return layout.Thresholds{}, fmt.Errorf("layerbench: unknown thresholds %q (want paper or calibrated)", kind)
+	}
+}

@@ -1,0 +1,102 @@
+// Command netbench runs the whole-network comparison of the paper (Fig. 14)
+// and, optionally, the per-layer breakdown of a single network under every
+// library policy (the Fig. 15 view for AlexNet).
+//
+// Usage:
+//
+//	netbench                         # Fig. 14 on the Titan Black model
+//	netbench -network AlexNet -detail
+//	netbench -device titanx -thresholds calibrated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memcnn/internal/bench"
+	"memcnn/internal/frameworks"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layout"
+	"memcnn/internal/workloads"
+)
+
+func main() {
+	var (
+		networkName = flag.String("network", "all", "network to price: LeNet, Cifar10, AlexNet, ZFNet, VGG or 'all'")
+		deviceName  = flag.String("device", "titanblack", "GPU model: titanblack or titanx")
+		thresholds  = flag.String("thresholds", "paper", "layout thresholds: 'paper' or 'calibrated'")
+		detail      = flag.Bool("detail", false, "print the per-layer breakdown for each planner")
+	)
+	flag.Parse()
+
+	dev := gpusim.TitanBlack()
+	if strings.EqualFold(*deviceName, "titanx") {
+		dev = gpusim.TitanX()
+	}
+	th := layout.TitanBlackThresholds()
+	if strings.Contains(dev.Name, "Titan X") {
+		th = layout.TitanXThresholds()
+	}
+	if strings.EqualFold(*thresholds, "calibrated") {
+		th = layout.Calibrate(dev)
+	}
+	fmt.Printf("device: %s\nlayout thresholds: %v\n\n", dev.Name, th)
+
+	if strings.EqualFold(*networkName, "all") {
+		_, table, err := bench.Figure14(dev, th)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(table)
+		if !*detail {
+			return
+		}
+	}
+
+	nets, err := workloads.Networks()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	targets := workloads.NetworkOrder
+	if !strings.EqualFold(*networkName, "all") {
+		net, ok := nets[*networkName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "netbench: unknown network %q\n", *networkName)
+			os.Exit(2)
+		}
+		targets = []string{net.Name}
+	}
+
+	for _, name := range targets {
+		net := nets[name]
+		fmt.Printf("== %s (batch %d, %d layers) ==\n", net.Name, net.Batch, len(net.Layers))
+		for _, planner := range frameworks.All(th) {
+			plan, err := planner.Plan(dev, net)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netbench: %s on %s: %v\n", planner.Name(), name, err)
+				os.Exit(1)
+			}
+			est, err := plan.Estimate()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14s %10.0f us  (%d layout transforms, %.0f us in transforms)\n",
+				planner.Name(), est.TotalUS, plan.TransformCount(), est.TransformUS)
+			if *detail {
+				for _, lt := range est.PerLayer {
+					fmt.Printf("    %-12s %-5s %10.1f us", lt.Name, lt.Layout, lt.TimeUS)
+					if lt.TransformUS > 0 {
+						fmt.Printf("  (+%.1f us transform)", lt.TransformUS)
+					}
+					fmt.Println()
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

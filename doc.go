@@ -1,0 +1,18 @@
+// Package memcnn is a Go reproduction of "Optimizing Memory Efficiency for
+// Deep Convolutional Neural Networks on GPUs" (Li, Yang, Feng, Chakradhar,
+// Zhou — SC 2016).
+//
+// The library models the memory behaviour of GPU CNN layers (data layouts,
+// coalescing, redundant off-chip traffic, kernel-launch round trips) and
+// implements the paper's optimisations: heuristic per-layer data-layout
+// selection, a fast 4-D layout transformation, register-reuse pooling and a
+// fused, inner-loop-parallel softmax, integrated into a network planner that
+// is compared against emulations of cuda-convnet, Caffe and the cuDNN modes.
+//
+// The public entry points live under internal/ because the module is a
+// self-contained reproduction rather than an importable SDK; the cmd/ tools
+// and examples/ programs show every supported workflow, and bench_test.go
+// regenerates each table and figure of the paper's evaluation.  See README.md
+// and DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-model comparison.
+package memcnn

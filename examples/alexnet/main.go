@@ -1,0 +1,96 @@
+// AlexNet walk-through: the whole-network scenario of Figs. 14 and 15.
+//
+// The example prices AlexNet under every library policy the paper compares
+// (cuda-convnet, Caffe, the cuDNN modes and the memory optimiser), prints the
+// per-layer plan the optimiser chooses, and reports where the time goes.
+//
+// Run with:  go run ./examples/alexnet
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memcnn/internal/core"
+	"memcnn/internal/frameworks"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layout"
+	"memcnn/internal/network"
+	"memcnn/internal/workloads"
+)
+
+func main() {
+	device := gpusim.TitanBlack()
+	thresholds := layout.TitanBlackThresholds()
+
+	net, err := workloads.AlexNet()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AlexNet: batch %d, %d layers, input %v\n\n", net.Batch, len(net.Layers), net.InputShape())
+
+	// Price every library policy on the same network description.
+	planners := []network.Planner{
+		frameworks.CuDNN(frameworks.CuDNNMM),
+		frameworks.CuDNN(frameworks.CuDNNFFT),
+		frameworks.CuDNN(frameworks.CuDNNFFTTiling),
+		frameworks.CuDNN(frameworks.CuDNNBest),
+		frameworks.Caffe(),
+		frameworks.CudaConvnet(),
+		frameworks.Optimized(thresholds),
+	}
+	var baseline float64
+	fmt.Println("whole-network execution time on the", device.Name, "model:")
+	for _, p := range planners {
+		plan, err := p.Plan(device, net)
+		if err != nil {
+			log.Fatalf("%s: %v", p.Name(), err)
+		}
+		est, err := plan.Estimate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if p.Name() == "cuDNN-MM" {
+			baseline = est.TotalUS
+		}
+		fmt.Printf("  %-14s %9.1f ms   speedup over cuDNN-MM: %.2fx\n",
+			p.Name(), est.TotalUS/1000, baseline/est.TotalUS)
+	}
+
+	// Show what the optimiser decided per layer (the Fig. 15 view).
+	optimizer := core.NewOptimizer(core.Options{Thresholds: thresholds})
+	plan, err := optimizer.Plan(device, net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := plan.Estimate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimised plan (%d layout transformations, %.1f ms total):\n", plan.TransformCount(), est.TotalUS/1000)
+	for i, pl := range plan.Layers {
+		line := fmt.Sprintf("  %-12s %-5s %9.1f us", pl.Layer.Name(), pl.Layout, est.PerLayer[i].TimeUS)
+		if pl.Transform != nil {
+			line += fmt.Sprintf("   (transform in: %.1f us, %v)", est.PerLayer[i].TransformUS, pl.TransformMethod)
+		}
+		fmt.Println(line)
+	}
+
+	// Where does the time go?
+	var convUS, poolUS, fcUS, otherUS float64
+	for i, pl := range plan.Layers {
+		t := est.PerLayer[i].Total()
+		switch pl.Layer.Name()[:2] {
+		case "co":
+			convUS += t
+		case "po":
+			poolUS += t
+		case "fc":
+			fcUS += t
+		default:
+			otherUS += t
+		}
+	}
+	fmt.Printf("\ntime breakdown: convolutions %.0f%%, pooling %.0f%%, fully-connected %.0f%%, other %.0f%%\n",
+		100*convUS/est.TotalUS, 100*poolUS/est.TotalUS, 100*fcUS/est.TotalUS, 100*otherUS/est.TotalUS)
+}

@@ -1,0 +1,236 @@
+package core_test
+
+import (
+	"testing"
+
+	"memcnn/internal/core"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layers"
+	"memcnn/internal/layout"
+	"memcnn/internal/network"
+	"memcnn/internal/tensor"
+	"memcnn/internal/workloads"
+)
+
+func planNetwork(t *testing.T, name string, opts core.Options) (*network.ExecutionPlan, *network.Network) {
+	t.Helper()
+	nets, err := workloads.Networks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, ok := nets[name]
+	if !ok {
+		t.Fatalf("unknown network %s", name)
+	}
+	opt := core.NewOptimizer(opts)
+	plan, err := opt.Plan(gpusim.TitanBlack(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return plan, net
+}
+
+func defaultOpts() core.Options {
+	return core.Options{Thresholds: layout.TitanBlackThresholds()}
+}
+
+func layoutOf(plan *network.ExecutionPlan, layerName string) (tensor.Layout, bool) {
+	for _, pl := range plan.Layers {
+		if pl.Layer.Name() == layerName {
+			return pl.Layout, true
+		}
+	}
+	return 0, false
+}
+
+func TestOptimizerNamesItself(t *testing.T) {
+	if core.NewOptimizer(core.Options{}).Name() != "Opt" {
+		t.Error("the optimiser should present itself as Opt")
+	}
+}
+
+func TestOptimizerRejectsEmptyNetwork(t *testing.T) {
+	opt := core.NewOptimizer(defaultOpts())
+	if _, err := opt.Plan(gpusim.TitanBlack(), nil); err == nil {
+		t.Error("planning a nil network must fail")
+	}
+}
+
+func TestLeNetStaysInCHWN(t *testing.T) {
+	// LeNet: batch 128 and tiny channel counts — every convolution and pool
+	// prefers CHWN, so the plan should contain no transforms at all.
+	plan, _ := planNetwork(t, "LeNet", defaultOpts())
+	for _, pl := range plan.Layers {
+		switch pl.Layer.(type) {
+		case *layers.Conv, *layers.Pool:
+			if pl.Layout != tensor.CHWN {
+				t.Errorf("layer %q planned in %v, want CHWN", pl.Layer.Name(), pl.Layout)
+			}
+		}
+	}
+	if got := plan.TransformCount(); got != 0 {
+		t.Errorf("LeNet plan contains %d transforms, want 0", got)
+	}
+}
+
+func TestAlexNetMixesLayouts(t *testing.T) {
+	// Fig. 15: the optimiser selects CHWN for conv1 and NCHW for the
+	// remaining convolutions, CHWN for the pooling layers, and therefore
+	// needs a handful of layout transformations.
+	plan, _ := planNetwork(t, "AlexNet", defaultOpts())
+
+	if lay, ok := layoutOf(plan, "conv1"); !ok || lay != tensor.CHWN {
+		t.Errorf("conv1 layout = %v, want CHWN", lay)
+	}
+	for _, name := range []string{"conv2", "conv3", "conv4", "conv5"} {
+		if lay, ok := layoutOf(plan, name); !ok || lay != tensor.NCHW {
+			t.Errorf("%s layout = %v, want NCHW", name, lay)
+		}
+	}
+	for _, name := range []string{"pool1", "pool2", "pool5"} {
+		if lay, ok := layoutOf(plan, name); !ok || lay != tensor.CHWN {
+			t.Errorf("%s layout = %v, want CHWN", name, lay)
+		}
+	}
+	if got := plan.TransformCount(); got < 3 {
+		t.Errorf("AlexNet plan contains %d transforms, expected several (layouts are mixed)", got)
+	}
+	// Transform overhead must stay a small fraction of the total time.
+	est, err := plan.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.TransformUS > 0.15*est.TotalUS {
+		t.Errorf("transform overhead %.0fus is more than 15%% of the total %.0fus", est.TransformUS, est.TotalUS)
+	}
+}
+
+func TestVGGUsesNCHWForDeepLayers(t *testing.T) {
+	plan, _ := planNetwork(t, "VGG", defaultOpts())
+	if lay, ok := layoutOf(plan, "conv1_1"); !ok || lay != tensor.CHWN {
+		t.Errorf("conv1_1 layout = %v, want CHWN (C=3)", lay)
+	}
+	for _, name := range []string{"conv3_1", "conv4_1", "conv5_1"} {
+		if lay, ok := layoutOf(plan, name); !ok || lay != tensor.NCHW {
+			t.Errorf("%s layout = %v, want NCHW", name, lay)
+		}
+	}
+}
+
+func TestOptimizerUsesOptimizedKernels(t *testing.T) {
+	plan, _ := planNetwork(t, "AlexNet", defaultOpts())
+	for _, pl := range plan.Layers {
+		switch pl.Layer.(type) {
+		case *layers.Pool:
+			if pl.Layout == tensor.CHWN && pl.Options.Pool != layers.PoolOptimized {
+				t.Errorf("pool %q should use the optimised kernel", pl.Layer.Name())
+			}
+		case *layers.Softmax:
+			if pl.Options.Softmax.String() != "fused+parallel" {
+				t.Errorf("softmax should use the fused, parallelised kernel, got %v", pl.Options.Softmax)
+			}
+		}
+	}
+}
+
+func TestCalibrationIsUsedWhenThresholdsMissing(t *testing.T) {
+	// With zero-valued thresholds the optimiser calibrates from the device
+	// model; the resulting plan must still mix layouts sensibly for AlexNet.
+	plan, _ := planNetwork(t, "AlexNet", core.Options{})
+	if lay, ok := layoutOf(plan, "conv1"); !ok || lay != tensor.CHWN {
+		t.Errorf("calibrated thresholds: conv1 layout = %v, want CHWN", lay)
+	}
+	if lay, ok := layoutOf(plan, "conv4"); !ok || lay != tensor.NCHW {
+		t.Errorf("calibrated thresholds: conv4 layout = %v, want NCHW", lay)
+	}
+}
+
+func TestDisableTransformsKeepsSingleLayout(t *testing.T) {
+	opts := defaultOpts()
+	opts.DisableTransforms = true
+	plan, _ := planNetwork(t, "AlexNet", opts)
+	if got := plan.TransformCount(); got != 0 {
+		t.Errorf("transform-free plan contains %d transforms", got)
+	}
+	first := plan.Layers[0].Layout
+	for _, pl := range plan.Layers {
+		if pl.Layout != first && pl.Layer.SupportsLayout(first) {
+			t.Errorf("layer %q switched to %v although transforms are disabled", pl.Layer.Name(), pl.Layout)
+		}
+	}
+}
+
+func TestNaiveTransformsAreSlower(t *testing.T) {
+	// Fig. 10: with the naive transformation the layout benefit shrinks (or
+	// disappears); the optimised transformation must always produce a plan
+	// at least as fast.
+	fast, _ := planNetwork(t, "AlexNet", defaultOpts())
+	naiveOpts := defaultOpts()
+	naiveOpts.NaiveTransforms = true
+	naiveOpts.SkipTransformCheck = true
+	slow, _ := planNetwork(t, "AlexNet", naiveOpts)
+
+	fastEst, err := fast.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowEst, err := slow.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastEst.TotalUS > slowEst.TotalUS {
+		t.Errorf("optimised transforms (%.0fus) must not lose to naive transforms (%.0fus)",
+			fastEst.TotalUS, slowEst.TotalUS)
+	}
+	if slowEst.TransformUS <= fastEst.TransformUS {
+		t.Errorf("naive transform overhead (%.0fus) should exceed the optimised overhead (%.0fus)",
+			slowEst.TransformUS, fastEst.TransformUS)
+	}
+}
+
+func TestAblationEveryOptimizationContributes(t *testing.T) {
+	// Switching off each optimisation must not make the network faster.
+	base, _ := planNetwork(t, "AlexNet", defaultOpts())
+	baseEst, err := base.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablations := map[string]core.Options{
+		"no pooling optimisation": {Thresholds: layout.TitanBlackThresholds(), DisablePoolingOpt: true},
+		"no softmax optimisation": {Thresholds: layout.TitanBlackThresholds(), DisableSoftmaxOpt: true},
+		"no layout mixing":        {Thresholds: layout.TitanBlackThresholds(), DisableTransforms: true},
+	}
+	for name, opts := range ablations {
+		plan, _ := planNetwork(t, "AlexNet", opts)
+		est, err := plan.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.TotalUS < baseEst.TotalUS*0.999 {
+			t.Errorf("%s: ablated plan (%.0fus) is faster than the full optimiser (%.0fus)", name, est.TotalUS, baseEst.TotalUS)
+		}
+	}
+}
+
+func TestTransformCheckAvoidsUnprofitableSwitches(t *testing.T) {
+	// With the profitability check enabled the plan never loses to the same
+	// plan without it.
+	checked, _ := planNetwork(t, "ZFNet", defaultOpts())
+	uncheckedOpts := defaultOpts()
+	uncheckedOpts.SkipTransformCheck = true
+	unchecked, _ := planNetwork(t, "ZFNet", uncheckedOpts)
+	cEst, err := checked.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uEst, err := unchecked.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cEst.TotalUS > uEst.TotalUS*1.001 {
+		t.Errorf("profitability check made the plan slower: %.0fus vs %.0fus", cEst.TotalUS, uEst.TotalUS)
+	}
+}

@@ -1,0 +1,78 @@
+package fft
+
+// 2-D cross-correlation in the frequency domain: the arithmetic core of the
+// cuDNN-FFT convolution mode.  Convolutional layers in CNN libraries compute
+// cross-correlation (the filter is not flipped); correlation in the space
+// domain equals pointwise multiplication by the conjugated filter spectrum in
+// the frequency domain, which is what CorrelateValid implements.
+
+// PadReal embeds a rows×cols real image into a zero-padded power-of-two
+// complex matrix of size padR×padC.
+func PadReal(img []float32, rows, cols, padR, padC int) *Matrix {
+	m := NewMatrix(padR, padC)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.Set(r, c, complex(float64(img[r*cols+c]), 0))
+		}
+	}
+	return m
+}
+
+// Conj conjugates every element of m in place.
+func Conj(m *Matrix) {
+	for i, v := range m.Data {
+		m.Data[i] = complex(real(v), -imag(v))
+	}
+}
+
+// CorrelateValid computes the "valid" 2-D cross-correlation of a rows×cols
+// image with an fh×fw filter using the FFT: the output has size
+// (rows-fh+1)×(cols-fw+1).  This is Equation 1 of the paper for a single
+// (image, input-channel, output-channel) triple; the convolution kernel model
+// sums it over input channels.
+func CorrelateValid(img []float32, rows, cols int, filt []float32, fh, fw int) ([]float32, error) {
+	padR := NextPow2(rows + fh - 1)
+	padC := NextPow2(cols + fw - 1)
+
+	fImg := PadReal(img, rows, cols, padR, padC)
+	fFil := PadReal(filt, fh, fw, padR, padC)
+	if err := Forward2D(fImg); err != nil {
+		return nil, err
+	}
+	if err := Forward2D(fFil); err != nil {
+		return nil, err
+	}
+	Conj(fFil)
+	if err := MulPointwise(fImg, fFil); err != nil {
+		return nil, err
+	}
+	if err := Inverse2D(fImg); err != nil {
+		return nil, err
+	}
+
+	outH := rows - fh + 1
+	outW := cols - fw + 1
+	out := make([]float32, outH*outW)
+	for r := 0; r < outH; r++ {
+		for c := 0; c < outW; c++ {
+			out[r*outW+c] = float32(real(fImg.At(r, c)))
+		}
+	}
+	return out, nil
+}
+
+// SpectrumCorrelate multiplies a pre-transformed image spectrum by the
+// conjugate of a pre-transformed filter spectrum and accumulates into acc.
+// It lets the convolution model amortise the image FFT across output
+// channels, exactly as the batched cuDNN-FFT implementation does.
+func SpectrumCorrelate(acc, imgSpec, filtSpec *Matrix) error {
+	tmp := NewMatrix(imgSpec.Rows, imgSpec.Cols)
+	copy(tmp.Data, imgSpec.Data)
+	conj := NewMatrix(filtSpec.Rows, filtSpec.Cols)
+	copy(conj.Data, filtSpec.Data)
+	Conj(conj)
+	if err := MulPointwise(tmp, conj); err != nil {
+		return err
+	}
+	return AddPointwise(acc, tmp)
+}

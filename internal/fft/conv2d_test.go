@@ -1,0 +1,146 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveCorrelateValid is the O(H*W*Fh*Fw) reference used to validate the FFT
+// path.
+func naiveCorrelateValid(img []float32, rows, cols int, filt []float32, fh, fw int) []float32 {
+	outH, outW := rows-fh+1, cols-fw+1
+	out := make([]float32, outH*outW)
+	for r := 0; r < outH; r++ {
+		for c := 0; c < outW; c++ {
+			var acc float64
+			for i := 0; i < fh; i++ {
+				for j := 0; j < fw; j++ {
+					acc += float64(img[(r+i)*cols+(c+j)]) * float64(filt[i*fw+j])
+				}
+			}
+			out[r*outW+c] = float32(acc)
+		}
+	}
+	return out
+}
+
+func TestCorrelateValidMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	cases := []struct{ rows, cols, fh, fw int }{
+		{8, 8, 3, 3},
+		{12, 12, 5, 5},
+		{28, 28, 5, 5},
+		{7, 9, 3, 2},
+		{5, 5, 5, 5}, // output is a single value
+		{6, 6, 1, 1}, // 1x1 filter
+	}
+	for _, c := range cases {
+		img := make([]float32, c.rows*c.cols)
+		filt := make([]float32, c.fh*c.fw)
+		for i := range img {
+			img[i] = float32(r.NormFloat64())
+		}
+		for i := range filt {
+			filt[i] = float32(r.NormFloat64())
+		}
+		got, err := CorrelateValid(img, c.rows, c.cols, filt, c.fh, c.fw)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		want := naiveCorrelateValid(img, c.rows, c.cols, filt, c.fh, c.fw)
+		if len(got) != len(want) {
+			t.Fatalf("%+v: length %d, want %d", c, len(got), len(want))
+		}
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+				t.Fatalf("%+v: output[%d] = %v, want %v", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCorrelateValidIdentityFilter(t *testing.T) {
+	// A 1x1 unit filter must reproduce the image.
+	img := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got, err := CorrelateValid(img, 3, 3, []float32{1}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img {
+		if math.Abs(float64(got[i]-img[i])) > 1e-5 {
+			t.Fatalf("identity filter altered element %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestPadRealPlacesImageInCorner(t *testing.T) {
+	img := []float32{1, 2, 3, 4}
+	m := PadReal(img, 2, 2, 4, 4)
+	if real(m.At(0, 0)) != 1 || real(m.At(1, 1)) != 4 {
+		t.Error("image not embedded at the origin")
+	}
+	if m.At(3, 3) != 0 {
+		t.Error("padding must be zero")
+	}
+}
+
+func TestConj(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, complex(1, 2))
+	m.Set(0, 1, complex(-3, -4))
+	Conj(m)
+	if m.At(0, 0) != complex(1, -2) || m.At(0, 1) != complex(-3, 4) {
+		t.Error("Conj incorrect")
+	}
+}
+
+func TestSpectrumCorrelateAccumulates(t *testing.T) {
+	// Two channels of an impulse image correlated with unit filters should
+	// accumulate to 2 at the origin.
+	imgSpec := PadReal([]float32{1, 0, 0, 0}, 2, 2, 4, 4)
+	filtSpec := PadReal([]float32{1}, 1, 1, 4, 4)
+	if err := Forward2D(imgSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward2D(filtSpec); err != nil {
+		t.Fatal(err)
+	}
+	acc := NewMatrix(4, 4)
+	if err := SpectrumCorrelate(acc, imgSpec, filtSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := SpectrumCorrelate(acc, imgSpec, filtSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse2D(acc); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(acc.At(0, 0))-2) > 1e-9 {
+		t.Errorf("accumulated correlation at origin = %v, want 2", real(acc.At(0, 0)))
+	}
+}
+
+func TestSpectrumCorrelateSizeMismatch(t *testing.T) {
+	if err := SpectrumCorrelate(NewMatrix(4, 4), NewMatrix(4, 4), NewMatrix(2, 2)); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func BenchmarkCorrelateValid28x28(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	img := make([]float32, 28*28)
+	filt := make([]float32, 25)
+	for i := range img {
+		img[i] = float32(r.NormFloat64())
+	}
+	for i := range filt {
+		filt[i] = float32(r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CorrelateValid(img, 28, 28, filt, 5, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 17: 32, 28: 32, 224: 256, 226: 256, 255: 256, 257: 512}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 100} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestForwardRejectsNonPow2(t *testing.T) {
+	if err := Forward(make([]complex128, 3)); err == nil {
+		t.Error("expected error for non-power-of-two length")
+	}
+	if err := Forward(nil); err != nil {
+		t.Errorf("empty input should be a no-op, got %v", err)
+	}
+}
+
+func TestForwardKnownValues(t *testing.T) {
+	// DFT of [1,1,1,1] is [4,0,0,0].
+	x := []complex128{1, 1, 1, 1}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{4, 0, 0, 0}
+	for i := range x {
+		if cmplxAbs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+
+	// DFT of an impulse is flat.
+	y := []complex128{1, 0, 0, 0, 0, 0, 0, 0}
+	if err := Forward(y); err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if cmplxAbs(y[i]-1) > 1e-12 {
+			t.Errorf("impulse spectrum[%d] = %v, want 1", i, y[i])
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 8, 64, 256} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplxAbs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2 for the unnormalised forward transform.
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := NextPow2(len(raw))
+		if n > 256 {
+			n = 256
+		}
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := 0; i < n && i < len(raw); i++ {
+			v := math.Mod(raw[i], 100)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			x[i] = complex(v, 0)
+			timeEnergy += v * v
+		}
+		if err := Forward(x); err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) <= 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 64
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		a[i] = complex(r.NormFloat64(), 0)
+		b[i] = complex(r.NormFloat64(), 0)
+		sum[i] = a[i] + b[i]
+	}
+	if err := Forward(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward(sum); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if cmplxAbs(sum[i]-(a[i]+b[i])) > 1e-9 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestMatrix2DRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := NewMatrix(16, 32)
+	orig := make([]complex128, len(m.Data))
+	for i := range m.Data {
+		m.Data[i] = complex(r.NormFloat64(), 0)
+		orig[i] = m.Data[i]
+	}
+	if err := Forward2D(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse2D(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if cmplxAbs(m.Data[i]-orig[i]) > 1e-9 {
+			t.Fatalf("2D round trip error at %d", i)
+		}
+	}
+}
+
+func TestForward2DRejectsNonPow2(t *testing.T) {
+	if err := Forward2D(NewMatrix(3, 4)); err == nil {
+		t.Error("expected error for 3-row matrix")
+	}
+	if err := Inverse2D(NewMatrix(4, 6)); err == nil {
+		t.Error("expected error for 6-column matrix")
+	}
+}
+
+func TestPointwiseSizeMismatch(t *testing.T) {
+	if err := MulPointwise(NewMatrix(2, 2), NewMatrix(2, 4)); err == nil {
+		t.Error("expected size mismatch error")
+	}
+	if err := AddPointwise(NewMatrix(2, 2), NewMatrix(4, 2)); err == nil {
+		t.Error("expected size mismatch error")
+	}
+}
+
+func TestMatrixAtSet(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, complex(5, -1))
+	if m.At(1, 2) != complex(5, -1) {
+		t.Error("At/Set round trip failed")
+	}
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}

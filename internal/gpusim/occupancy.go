@@ -1,0 +1,102 @@
+package gpusim
+
+// BlockResources describes the per-thread-block resource demand of a kernel,
+// the inputs to the occupancy calculation.
+type BlockResources struct {
+	ThreadsPerBlock   int
+	RegsPerThread     int
+	SharedMemPerBlock int
+}
+
+// Occupancy describes how many warps a kernel keeps resident on each SM and
+// on the whole device.
+type Occupancy struct {
+	BlocksPerSM     int
+	WarpsPerSM      int
+	ActiveWarps     int     // device-wide resident warps (bounded by grid size)
+	Fraction        float64 // warps per SM / max warps per SM
+	LimitedBy       string  // which resource bounds the residency
+	ThreadsResident int
+}
+
+// ComputeOccupancy applies the CUDA occupancy rules: the number of thread
+// blocks resident on an SM is bounded by the thread limit, the register file,
+// the shared memory capacity and the block-slot limit; whichever is smallest
+// wins.
+func ComputeOccupancy(d *Device, r BlockResources, gridBlocks int) Occupancy {
+	if r.ThreadsPerBlock <= 0 {
+		return Occupancy{LimitedBy: "empty block"}
+	}
+	threads := r.ThreadsPerBlock
+	if threads > d.MaxThreadsPerBlock {
+		threads = d.MaxThreadsPerBlock
+	}
+
+	byThreads := d.MaxThreadsPerSM / threads
+	byBlocks := d.MaxBlocksPerSM
+
+	byRegs := byBlocks
+	if r.RegsPerThread > 0 {
+		regsPerBlock := r.RegsPerThread * threads
+		if regsPerBlock > 0 {
+			byRegs = d.RegistersPerSM / regsPerBlock
+		}
+	}
+
+	bySmem := byBlocks
+	if r.SharedMemPerBlock > 0 {
+		bySmem = d.SharedMemPerSM / r.SharedMemPerBlock
+	}
+
+	blocks := byThreads
+	limit := "threads"
+	if byBlocks < blocks {
+		blocks, limit = byBlocks, "block slots"
+	}
+	if byRegs < blocks {
+		blocks, limit = byRegs, "registers"
+	}
+	if bySmem < blocks {
+		blocks, limit = bySmem, "shared memory"
+	}
+	if blocks < 0 {
+		blocks = 0
+	}
+
+	warpsPerBlock := (threads + d.WarpSize - 1) / d.WarpSize
+	warpsPerSM := blocks * warpsPerBlock
+	if warpsPerSM > d.MaxWarpsPerSM {
+		warpsPerSM = d.MaxWarpsPerSM
+	}
+
+	// Device-wide residency is also bounded by how many blocks the grid has.
+	resBlocks := blocks * d.SMCount
+	if gridBlocks > 0 && gridBlocks < resBlocks {
+		resBlocks = gridBlocks
+	}
+	activeWarps := resBlocks * warpsPerBlock
+
+	frac := 0.0
+	if d.MaxWarpsPerSM > 0 {
+		frac = float64(warpsPerSM) / float64(d.MaxWarpsPerSM)
+		// If the grid cannot even fill the SMs, scale the fraction down: a
+		// 128-thread kernel (the unparallelised softmax outer loop) cannot
+		// hide latency no matter what its per-block resources allow.
+		deviceCapacityWarps := d.MaxWarpsPerSM * d.SMCount
+		if activeWarps < int(frac*float64(deviceCapacityWarps)) {
+			frac = float64(activeWarps) / float64(deviceCapacityWarps)
+		}
+	}
+	if frac > 1 {
+		frac = 1
+	}
+
+	return Occupancy{
+		BlocksPerSM:     blocks,
+		WarpsPerSM:      warpsPerSM,
+		ActiveWarps:     activeWarps,
+		Fraction:        frac,
+		LimitedBy:       limit,
+		ThreadsResident: activeWarps * d.WarpSize,
+	}
+}

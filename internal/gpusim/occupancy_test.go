@@ -1,0 +1,96 @@
+package gpusim
+
+import "testing"
+
+func TestOccupancyFullBlocks(t *testing.T) {
+	d := TitanBlack()
+	occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: 256, RegsPerThread: 32, SharedMemPerBlock: 0}, 1_000_000)
+	if occ.BlocksPerSM != 8 {
+		t.Errorf("BlocksPerSM = %d, want 8 (2048/256)", occ.BlocksPerSM)
+	}
+	if occ.Fraction != 1 {
+		t.Errorf("Fraction = %v, want 1", occ.Fraction)
+	}
+	if occ.LimitedBy != "threads" {
+		t.Errorf("LimitedBy = %q, want threads", occ.LimitedBy)
+	}
+}
+
+func TestOccupancyRegisterLimited(t *testing.T) {
+	d := TitanBlack()
+	occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: 256, RegsPerThread: 128}, 1_000_000)
+	// 65536 regs / (128*256) = 2 blocks per SM = 512 threads = 16 warps of 64.
+	if occ.BlocksPerSM != 2 {
+		t.Errorf("BlocksPerSM = %d, want 2", occ.BlocksPerSM)
+	}
+	if occ.LimitedBy != "registers" {
+		t.Errorf("LimitedBy = %q, want registers", occ.LimitedBy)
+	}
+	if occ.Fraction >= 0.5 {
+		t.Errorf("Fraction = %v, want < 0.5", occ.Fraction)
+	}
+}
+
+func TestOccupancySharedMemoryLimited(t *testing.T) {
+	d := TitanBlack()
+	occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: 128, RegsPerThread: 16, SharedMemPerBlock: 24 << 10}, 1_000_000)
+	if occ.BlocksPerSM != 2 {
+		t.Errorf("BlocksPerSM = %d, want 2 (48KB/24KB)", occ.BlocksPerSM)
+	}
+	if occ.LimitedBy != "shared memory" {
+		t.Errorf("LimitedBy = %q, want shared memory", occ.LimitedBy)
+	}
+}
+
+func TestOccupancySmallGrid(t *testing.T) {
+	d := TitanBlack()
+	// The unparallelised softmax outer loop: a single block of 128 threads.
+	occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: 128}, 1)
+	if occ.ActiveWarps != 4 {
+		t.Errorf("ActiveWarps = %d, want 4", occ.ActiveWarps)
+	}
+	if occ.Fraction > 0.01 {
+		t.Errorf("Fraction = %v, want tiny for a 1-block grid", occ.Fraction)
+	}
+}
+
+func TestOccupancyEmptyBlock(t *testing.T) {
+	occ := ComputeOccupancy(TitanBlack(), BlockResources{}, 10)
+	if occ.BlocksPerSM != 0 || occ.ActiveWarps != 0 {
+		t.Error("empty block must produce zero occupancy")
+	}
+}
+
+func TestOccupancyOversizedBlockIsClamped(t *testing.T) {
+	d := TitanBlack()
+	occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: 4096}, 100)
+	if occ.BlocksPerSM < 1 {
+		t.Errorf("oversized block should be clamped to the device limit, got %d blocks/SM", occ.BlocksPerSM)
+	}
+}
+
+func TestOccupancyBlockSlotLimited(t *testing.T) {
+	d := TitanBlack()
+	occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: 32}, 1_000_000)
+	if occ.BlocksPerSM != d.MaxBlocksPerSM {
+		t.Errorf("BlocksPerSM = %d, want %d", occ.BlocksPerSM, d.MaxBlocksPerSM)
+	}
+	if occ.LimitedBy != "block slots" {
+		t.Errorf("LimitedBy = %q, want block slots", occ.LimitedBy)
+	}
+}
+
+func TestOccupancyFractionNeverExceedsOne(t *testing.T) {
+	d := TitanX()
+	for threads := 32; threads <= 1024; threads *= 2 {
+		for regs := 0; regs <= 255; regs += 51 {
+			occ := ComputeOccupancy(d, BlockResources{ThreadsPerBlock: threads, RegsPerThread: regs}, 1<<20)
+			if occ.Fraction < 0 || occ.Fraction > 1 {
+				t.Fatalf("threads=%d regs=%d: fraction %v out of range", threads, regs, occ.Fraction)
+			}
+			if occ.WarpsPerSM > d.MaxWarpsPerSM {
+				t.Fatalf("threads=%d regs=%d: warps/SM %d exceeds limit", threads, regs, occ.WarpsPerSM)
+			}
+		}
+	}
+}

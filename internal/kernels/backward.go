@@ -1,0 +1,412 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/tensor"
+)
+
+// Backward-pass kernels.  The paper notes (Section II.A, footnote 1) that the
+// same data structures and convolution operations are used in the forward and
+// backward passes, so the layout findings carry over to training; its Caffe
+// integration is profiled on complete forward-backward iterations.  This file
+// provides the backward kernels needed to price (and functionally check) a
+// training step: convolution gradients with respect to the input and to the
+// filters, pooling backward, ReLU backward and the fused softmax +
+// cross-entropy gradient.
+
+// ConvBackwardData computes the gradient of the convolution with respect to
+// its input: dIn[n][c][ih][iw] = sum over (k, fh, fw) hitting (ih, iw) of
+// dOut[n][k][oh][ow] * filter[k][c][fh][fw].  It is the functional reference
+// for the backward-data kernel.
+func ConvBackwardData(dOut, filters *tensor.Tensor, cfg ConvConfig, outLayout tensor.Layout) (*tensor.Tensor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dOut.Shape != cfg.OutputShape() {
+		return nil, fmt.Errorf("kernels: backward-data dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
+	}
+	if filters.Shape != cfg.FilterShape() {
+		return nil, fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
+	}
+	dIn := tensor.New(cfg.InputShape(), outLayout)
+	outH, outW := cfg.OutH(), cfg.OutW()
+
+	jobs := make(chan int, cfg.N)
+	for n := 0; n < cfg.N; n++ {
+		jobs <- n
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := range jobs {
+				for c := 0; c < cfg.C; c++ {
+					for ih := 0; ih < cfg.H; ih++ {
+						for iw := 0; iw < cfg.W; iw++ {
+							var acc float64
+							for k := 0; k < cfg.K; k++ {
+								for fh := 0; fh < cfg.FH; fh++ {
+									ohNum := ih + cfg.PadH - fh
+									if ohNum < 0 || ohNum%cfg.StrideH != 0 {
+										continue
+									}
+									oh := ohNum / cfg.StrideH
+									if oh >= outH {
+										continue
+									}
+									for fw := 0; fw < cfg.FW; fw++ {
+										owNum := iw + cfg.PadW - fw
+										if owNum < 0 || owNum%cfg.StrideW != 0 {
+											continue
+										}
+										ow := owNum / cfg.StrideW
+										if ow >= outW {
+											continue
+										}
+										acc += float64(dOut.At(n, k, oh, ow)) * float64(filters.At(k, c, fh, fw))
+									}
+								}
+							}
+							dIn.Set(n, c, ih, iw, float32(acc))
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return dIn, nil
+}
+
+// ConvBackwardFilter computes the gradient of the convolution with respect to
+// its filter bank: dW[k][c][fh][fw] = sum over (n, oh, ow) of
+// dOut[n][k][oh][ow] * in[n][c][oh*S+fh-pad][ow*S+fw-pad].
+func ConvBackwardFilter(in, dOut *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Shape != cfg.InputShape() {
+		return nil, fmt.Errorf("kernels: backward-filter input shape %v does not match config %v", in.Shape, cfg.InputShape())
+	}
+	if dOut.Shape != cfg.OutputShape() {
+		return nil, fmt.Errorf("kernels: backward-filter dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
+	}
+	dW := tensor.New(cfg.FilterShape(), tensor.NCHW)
+	outH, outW := cfg.OutH(), cfg.OutW()
+
+	type job struct{ k, c int }
+	jobs := make(chan job, cfg.K*cfg.C)
+	for k := 0; k < cfg.K; k++ {
+		for c := 0; c < cfg.C; c++ {
+			jobs <- job{k, c}
+		}
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				for fh := 0; fh < cfg.FH; fh++ {
+					for fw := 0; fw < cfg.FW; fw++ {
+						var acc float64
+						for n := 0; n < cfg.N; n++ {
+							for oh := 0; oh < outH; oh++ {
+								ih := oh*cfg.StrideH - cfg.PadH + fh
+								if ih < 0 || ih >= cfg.H {
+									continue
+								}
+								for ow := 0; ow < outW; ow++ {
+									iw := ow*cfg.StrideW - cfg.PadW + fw
+									if iw < 0 || iw >= cfg.W {
+										continue
+									}
+									acc += float64(dOut.At(n, j.k, oh, ow)) * float64(in.At(n, j.c, ih, iw))
+								}
+							}
+						}
+						dW.Set(j.k, j.c, fh, fw, float32(acc))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return dW, nil
+}
+
+// ConvBackwardDataCHWNCost models the backward-data pass of the direct
+// convolution on the CHWN layout.  The access structure mirrors the forward
+// kernel (the roles of C and K swap and the filter is traversed transposed),
+// so the cost model reuses the forward machinery on the transposed
+// configuration — exactly the paper's observation that forward and backward
+// share layout behaviour.
+func ConvBackwardDataCHWNCost(d *gpusim.Device, cfg ConvConfig) gpusim.KernelStats {
+	cfg = cfg.withDefaults()
+	t := transposedConfig(cfg)
+	s := ConvDirectCHWNCost(d, t)
+	s.Name = fmt.Sprintf("direct-conv-bwd-data CHWN %s", cfg.String())
+	return s
+}
+
+// ConvBackwardDataNCHWCost models the backward-data pass of the GEMM
+// convolution (col2im after a GEMM with the transposed filter matrix).
+func ConvBackwardDataNCHWCost(d *gpusim.Device, cfg ConvConfig) []gpusim.KernelStats {
+	cfg = cfg.withDefaults()
+	t := transposedConfig(cfg)
+	seq := ConvGemmNCHWCost(d, t)
+	for i := range seq {
+		seq[i].Name = fmt.Sprintf("gemm-conv-bwd-data NCHW %s (stage %d)", cfg.String(), i)
+	}
+	return seq
+}
+
+// transposedConfig returns the configuration of the backward-data convolution
+// seen as a forward convolution: output channels become input channels and
+// the spatial extent is the forward output's.  Degenerate sizes are clamped
+// so the cost query stays well defined for very small layers.
+func transposedConfig(cfg ConvConfig) ConvConfig {
+	h, w := cfg.OutH(), cfg.OutW()
+	if h < cfg.FH {
+		h = cfg.FH
+	}
+	if w < cfg.FW {
+		w = cfg.FW
+	}
+	padH, padW := cfg.FH-1-cfg.PadH, cfg.FW-1-cfg.PadW
+	if padH < 0 {
+		padH = 0
+	}
+	if padW < 0 {
+		padW = 0
+	}
+	return ConvConfig{
+		N: cfg.N, C: cfg.K, H: h, W: w,
+		K: cfg.C, FH: cfg.FH, FW: cfg.FW,
+		StrideH: 1, StrideW: 1,
+		PadH: padH, PadW: padW,
+	}
+}
+
+// ConvBackwardFilterCost models the weight-gradient kernel, which both
+// libraries implement as a GEMM over the unrolled input:
+// dW (K × C·FH·FW) = dOut (K × N·OutH·OutW) · unrolled(in)ᵀ.
+func ConvBackwardFilterCost(d *gpusim.Device, cfg ConvConfig) []gpusim.KernelStats {
+	cfg = cfg.withDefaults()
+	g := GemmCostConfig{M: cfg.K, N: cfg.ReductionLength(), K: cfg.N * cfg.OutH() * cfg.OutW()}
+	gemm := GemmCost(d, g)
+	gemm.Name = fmt.Sprintf("conv-bwd-filter %s", cfg.String())
+	if cfg.FH == 1 && cfg.FW == 1 && cfg.StrideH == 1 && cfg.StrideW == 1 {
+		return []gpusim.KernelStats{gemm}
+	}
+	return []gpusim.KernelStats{Im2colCost(d, cfg), gemm}
+}
+
+// PoolBackward computes the gradient of the pooling layer.  For max pooling
+// the incoming gradient is routed to the window position that produced the
+// maximum (ties go to the first such position, as the CUDA kernels do); for
+// average pooling it is spread uniformly over the window.
+func PoolBackward(in, dOut *tensor.Tensor, cfg PoolConfig) (*tensor.Tensor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Shape != cfg.InputShape() {
+		return nil, fmt.Errorf("kernels: pool backward input shape %v does not match config %v", in.Shape, cfg.InputShape())
+	}
+	if dOut.Shape != cfg.OutputShape() {
+		return nil, fmt.Errorf("kernels: pool backward dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
+	}
+	dIn := tensor.New(cfg.InputShape(), in.Layout)
+	outH, outW := cfg.OutH(), cfg.OutW()
+
+	type job struct{ n, c int }
+	jobs := make(chan job, cfg.N*cfg.C)
+	for n := 0; n < cfg.N; n++ {
+		for c := 0; c < cfg.C; c++ {
+			jobs <- job{n, c}
+		}
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				for oh := 0; oh < outH; oh++ {
+					for ow := 0; ow < outW; ow++ {
+						g := dOut.At(j.n, j.c, oh, ow)
+						h0, w0 := oh*cfg.Stride, ow*cfg.Stride
+						if cfg.Op == AvgPool {
+							share := g / float32(cfg.Window*cfg.Window)
+							for y := 0; y < cfg.Window; y++ {
+								for x := 0; x < cfg.Window; x++ {
+									dIn.Set(j.n, j.c, h0+y, w0+x, dIn.At(j.n, j.c, h0+y, w0+x)+share)
+								}
+							}
+							continue
+						}
+						bestY, bestX := 0, 0
+						best := in.At(j.n, j.c, h0, w0)
+						for y := 0; y < cfg.Window; y++ {
+							for x := 0; x < cfg.Window; x++ {
+								if v := in.At(j.n, j.c, h0+y, w0+x); v > best {
+									best, bestY, bestX = v, y, x
+								}
+							}
+						}
+						dIn.Set(j.n, j.c, h0+bestY, w0+bestX, dIn.At(j.n, j.c, h0+bestY, w0+bestX)+g)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return dIn, nil
+}
+
+// PoolBackwardCost models the pooling backward kernel: it reads the incoming
+// gradient and the forward activations (or the stored argmax mask) and
+// scatters into the input gradient.  The layout determines coalescing exactly
+// as in the forward pass.
+func PoolBackwardCost(d *gpusim.Device, cfg PoolConfig, layoutIsCHWN bool) gpusim.KernelStats {
+	inBytes := float64(cfg.InputShape().Elems()) * 4
+	outBytes := float64(cfg.OutputShape().Elems()) * 4
+	// Reads: gradient + mask; writes: input-sized gradient (atomics for the
+	// overlapped case).
+	read := 2 * outBytes
+	write := inBytes
+	eff := 1.0
+	if !layoutIsCHWN {
+		eff = nchwPoolWarpEfficiency(d, cfg)
+	}
+	if cfg.Overlapped() {
+		write *= 1.15 // atomic collisions on shared border elements
+	}
+	name := "pool-bwd CHWN"
+	if !layoutIsCHWN {
+		name = "pool-bwd NCHW"
+	}
+	return gpusim.KernelStats{
+		Name:              fmt.Sprintf("%s %s", name, cfg.String()),
+		GridBlocks:        ceilDiv(cfg.OutputShape().Elems(), 256),
+		Block:             gpusim.BlockResources{ThreadsPerBlock: 256, RegsPerThread: 24},
+		Launches:          1,
+		FLOPs:             cfg.FLOPs(),
+		ComputeEfficiency: 0.5,
+		DRAMReadBytes:     read / eff,
+		DRAMWriteBytes:    write / eff,
+		UsefulReadBytes:   read,
+		UsefulWriteBytes:  write,
+	}
+}
+
+// SoftmaxCrossEntropyBackward computes the gradient of the softmax +
+// cross-entropy loss with respect to the logits: probs - onehot(labels),
+// scaled by 1/N.  probs is the row-major N×Classes output of Softmax.
+func SoftmaxCrossEntropyBackward(probs []float32, labels []int, cfg SoftmaxConfig) ([]float32, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(probs) != cfg.Elems() {
+		return nil, fmt.Errorf("kernels: softmax backward probs has %d elements, want %d", len(probs), cfg.Elems())
+	}
+	if len(labels) != cfg.N {
+		return nil, fmt.Errorf("kernels: softmax backward has %d labels, want %d", len(labels), cfg.N)
+	}
+	grad := make([]float32, len(probs))
+	scale := 1 / float32(cfg.N)
+	for n := 0; n < cfg.N; n++ {
+		lbl := labels[n]
+		if lbl < 0 || lbl >= cfg.Classes {
+			return nil, fmt.Errorf("kernels: label %d out of range for %d classes", lbl, cfg.Classes)
+		}
+		for c := 0; c < cfg.Classes; c++ {
+			g := probs[n*cfg.Classes+c]
+			if c == lbl {
+				g -= 1
+			}
+			grad[n*cfg.Classes+c] = g * scale
+		}
+	}
+	return grad, nil
+}
+
+// SoftmaxBackwardCost models the (fused) softmax backward kernel: one
+// streaming pass over the probability matrix.
+func SoftmaxBackwardCost(d *gpusim.Device, cfg SoftmaxConfig, fused bool) gpusim.KernelStats {
+	matrix := cfg.Bytes()
+	launches := 1
+	read, write := matrix, matrix
+	if !fused {
+		// The unfused baseline recomputes through separate kernels and
+		// round-trips an intermediate matrix.
+		launches = 2
+		read, write = 2*matrix, 2*matrix
+	}
+	return gpusim.KernelStats{
+		Name:              fmt.Sprintf("softmax-bwd %s", cfg.String()),
+		GridBlocks:        cfg.N,
+		Block:             gpusim.BlockResources{ThreadsPerBlock: softmaxBlockThreads(cfg.Classes), RegsPerThread: 24},
+		Launches:          launches,
+		FLOPs:             float64(cfg.Elems()) * 2,
+		ComputeEfficiency: 0.25,
+		DRAMReadBytes:     read,
+		DRAMWriteBytes:    write,
+		UsefulReadBytes:   matrix,
+		UsefulWriteBytes:  matrix,
+	}
+}
+
+// ReLUBackward masks the incoming gradient with the forward activation's
+// sign: dIn = dOut where the forward input was positive, 0 elsewhere.
+func ReLUBackward(in, dOut *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Shape != dOut.Shape {
+		return nil, fmt.Errorf("kernels: relu backward shape mismatch %v vs %v", in.Shape, dOut.Shape)
+	}
+	dIn := tensor.New(in.Shape, dOut.Layout)
+	s := in.Shape
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					if in.At(n, c, h, w) > 0 {
+						dIn.Set(n, c, h, w, dOut.At(n, c, h, w))
+					}
+				}
+			}
+		}
+	}
+	return dIn, nil
+}
+
+// ConvTrainingCost returns the kernel sequence of one training step of a
+// convolutional layer (forward + backward-data + backward-filter) in the
+// given layout, the quantity the paper's complete forward-backward profiling
+// measures.
+func ConvTrainingCost(d *gpusim.Device, cfg ConvConfig, chwn bool) []gpusim.KernelStats {
+	bwdFilter := ConvBackwardFilterCost(d, cfg)
+	if chwn {
+		// cuda-convnet's weight-gradient kernel works on the CHWN data
+		// directly (no unroll step), so only the GEMM-equivalent part of the
+		// weight-gradient cost applies.
+		return []gpusim.KernelStats{
+			ConvDirectCHWNCost(d, cfg),
+			ConvBackwardDataCHWNCost(d, cfg),
+			bwdFilter[len(bwdFilter)-1],
+		}
+	}
+	seq := ConvGemmNCHWCost(d, cfg)
+	seq = append(seq, ConvBackwardDataNCHWCost(d, cfg)...)
+	seq = append(seq, bwdFilter...)
+	return seq
+}

@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"fmt"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/tensor"
+)
+
+// GEMM-based convolution: the Caffe / cuDNN implementation strategy for the
+// NCHW layout (Section II.B).  The input is unrolled with im2col into a
+// (C·FH·FW) × (N·OutH·OutW) matrix and the convolution becomes one SGEMM with
+// the filter bank as the (K) × (C·FH·FW) left operand.  The strategy inherits
+// matrix multiplication's robustness across layer shapes, but pays the
+// unroll traffic and only reaches high efficiency once the merged matrix
+// dimensions are large (Fig. 4b).
+
+// ConvIm2colGemm is the functional reference for the NCHW GEMM convolution
+// path.  Its output is numerically identical (up to float rounding) to
+// ConvDirect; the cross-check is part of the test suite.
+func ConvIm2colGemm(in, filters *tensor.Tensor, cfg ConvConfig, outLayout tensor.Layout) (*tensor.Tensor, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Shape != cfg.InputShape() {
+		return nil, fmt.Errorf("kernels: conv input shape %v does not match config %v", in.Shape, cfg.InputShape())
+	}
+	if filters.Shape != cfg.FilterShape() {
+		return nil, fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
+	}
+
+	// Unroll the input: rows = C*FH*FW, cols = N*OutH*OutW.
+	unrolled, err := Im2col(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Flatten the filter bank to K x (C*FH*FW).  Filters are stored with
+	// Co outermost (tensor.Filters), so the flattening is a straight copy in
+	// logical order.
+	kdim := cfg.ReductionLength()
+	flatFilters := make([]float32, cfg.K*kdim)
+	for k := 0; k < cfg.K; k++ {
+		idx := k * kdim
+		for c := 0; c < cfg.C; c++ {
+			for fh := 0; fh < cfg.FH; fh++ {
+				for fw := 0; fw < cfg.FW; fw++ {
+					flatFilters[idx] = filters.At(k, c, fh, fw)
+					idx++
+				}
+			}
+		}
+	}
+
+	cols := cfg.N * cfg.OutH() * cfg.OutW()
+	prod, err := Gemm(flatFilters, unrolled, cfg.K, cols, kdim)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scatter the K x (N*OutH*OutW) product into the output tensor.
+	out := tensor.New(cfg.OutputShape(), outLayout)
+	outH, outW := cfg.OutH(), cfg.OutW()
+	for k := 0; k < cfg.K; k++ {
+		row := prod[k*cols : (k+1)*cols]
+		col := 0
+		for n := 0; n < cfg.N; n++ {
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					out.Set(n, k, oh, ow, row[col])
+					col++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ConvGemmNCHWCost returns the kernel sequence of the NCHW GEMM convolution:
+// the im2col unroll followed by the SGEMM.  1×1 stride-1 convolutions skip
+// the unroll, as Caffe and cuDNN do.
+func ConvGemmNCHWCost(d *gpusim.Device, cfg ConvConfig) []gpusim.KernelStats {
+	cfg = cfg.withDefaults()
+	gemm := GemmCost(d, ConvGemmShape(cfg))
+	gemm.Name = fmt.Sprintf("gemm-conv NCHW %s", cfg.String())
+	if cfg.FH == 1 && cfg.FW == 1 && cfg.StrideH == 1 && cfg.StrideW == 1 && cfg.PadH == 0 && cfg.PadW == 0 {
+		return []gpusim.KernelStats{gemm}
+	}
+	return []gpusim.KernelStats{Im2colCost(d, cfg), gemm}
+}
+
+// ConvGemmShape returns the GEMM dimensions of the unrolled convolution:
+// M = Co, N = Ni*OutH*OutW, K = Ci*FH*FW.
+func ConvGemmShape(cfg ConvConfig) GemmCostConfig {
+	cfg = cfg.withDefaults()
+	return GemmCostConfig{
+		M: cfg.K,
+		N: cfg.N * cfg.OutH() * cfg.OutW(),
+		K: cfg.ReductionLength(),
+	}
+}
+
+// ConvGemmWorkspaceBytes returns the device memory the GEMM path needs beyond
+// input, output and filters (the unrolled matrix).
+func ConvGemmWorkspaceBytes(cfg ConvConfig) int64 { return Im2colWorkspaceBytes(cfg) }

@@ -1,0 +1,181 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memcnn/internal/gpusim"
+)
+
+func naiveGemm(a, b []float32, m, n, k int) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for kk := 0; kk < k; kk++ {
+				acc += float64(a[i*k+kk]) * float64(b[kk*n+j])
+			}
+			c[i*n+j] = float32(acc)
+		}
+	}
+	return c
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cases := []struct{ m, n, k int }{
+		{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {65, 130, 70}, {128, 33, 200}, {7, 257, 3},
+	}
+	for _, c := range cases {
+		a := make([]float32, c.m*c.k)
+		b := make([]float32, c.k*c.n)
+		for i := range a {
+			a[i] = float32(r.NormFloat64())
+		}
+		for i := range b {
+			b[i] = float32(r.NormFloat64())
+		}
+		got, err := Gemm(a, b, c.m, c.n, c.k)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		want := naiveGemm(a, b, c.m, c.n, c.k)
+		for i := range got {
+			if math.Abs(float64(got[i]-want[i])) > 1e-3 {
+				t.Fatalf("%+v: C[%d] = %v, want %v", c, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGemmIdentity(t *testing.T) {
+	n := 8
+	id := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	b := make([]float32, n*n)
+	for i := range b {
+		b[i] = float32(i)
+	}
+	got, err := Gemm(id, b, n, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if got[i] != b[i] {
+			t.Fatalf("identity GEMM altered element %d", i)
+		}
+	}
+}
+
+func TestGemmInputValidation(t *testing.T) {
+	if _, err := Gemm(nil, nil, 0, 1, 1); err == nil {
+		t.Error("zero m must be rejected")
+	}
+	if _, err := Gemm(make([]float32, 3), make([]float32, 4), 2, 2, 2); err == nil {
+		t.Error("wrong A size must be rejected")
+	}
+	if _, err := Gemm(make([]float32, 4), make([]float32, 3), 2, 2, 2); err == nil {
+		t.Error("wrong B size must be rejected")
+	}
+}
+
+func TestGemmEfficiencyMonotoneInK(t *testing.T) {
+	prev := 0.0
+	for _, k := range []int{9, 27, 144, 288, 576, 1152, 2304, 4608} {
+		eff := GemmEfficiency(GemmCostConfig{M: 384, N: 7744, K: k})
+		if eff < prev {
+			t.Errorf("efficiency decreased at K=%d: %v < %v", k, eff, prev)
+		}
+		if eff <= 0 || eff > 1 {
+			t.Errorf("efficiency %v out of range at K=%d", eff, k)
+		}
+		prev = eff
+	}
+}
+
+func TestGemmEfficiencyDegenerate(t *testing.T) {
+	if eff := GemmEfficiency(GemmCostConfig{M: 0, N: 10, K: 10}); eff != gemmMinEff {
+		t.Errorf("degenerate GEMM efficiency = %v, want floor %v", eff, gemmMinEff)
+	}
+	// The floor keeps even tiny GEMMs above zero throughput.
+	small := GemmEfficiency(GemmCostConfig{M: 16, N: 100, K: 9})
+	if small < gemmMinEff*gemmPeakFraction {
+		t.Errorf("small GEMM efficiency %v fell below the floor", small)
+	}
+}
+
+func TestGemmEfficiencyQuickProperties(t *testing.T) {
+	f := func(m, n, k uint16) bool {
+		g := GemmCostConfig{M: int(m%4096) + 1, N: int(n%8192) + 1, K: int(k%4096) + 1}
+		eff := GemmEfficiency(g)
+		return eff > 0 && eff <= gemmPeakFraction
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGemmCostTrafficAndFLOPs(t *testing.T) {
+	d := gpusim.TitanBlack()
+	g := GemmCostConfig{M: 256, N: 4096, K: 1024}
+	s := GemmCost(d, g)
+	if s.FLOPs != g.FLOPs() {
+		t.Errorf("FLOPs = %v, want %v", s.FLOPs, g.FLOPs())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("GemmCost stats invalid: %v", err)
+	}
+	if s.DRAMWriteBytes != float64(g.M*g.N)*4 {
+		t.Errorf("write bytes = %v, want %v", s.DRAMWriteBytes, g.M*g.N*4)
+	}
+	if s.DRAMReadBytes < s.UsefulReadBytes {
+		t.Error("moved read bytes must be at least the useful bytes")
+	}
+	// The kernel estimate must be finite and positive.
+	kt := gpusim.EstimateTime(d, s)
+	if kt.TotalUS <= 0 {
+		t.Error("GEMM time must be positive")
+	}
+}
+
+func TestGemmCostLargerProblemsTakeLonger(t *testing.T) {
+	d := gpusim.TitanBlack()
+	small := gpusim.EstimateTime(d, GemmCost(d, GemmCostConfig{M: 128, N: 1024, K: 256})).TotalUS
+	large := gpusim.EstimateTime(d, GemmCost(d, GemmCostConfig{M: 512, N: 8192, K: 1024})).TotalUS
+	if large <= small {
+		t.Errorf("larger GEMM (%v us) should take longer than smaller (%v us)", large, small)
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3}, {7, 0, 0}}
+	for _, c := range cases {
+		if got := ceilDiv(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func BenchmarkGemm256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m, n, k := 256, 256, 256
+	a := make([]float32, m*k)
+	bb := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(r.NormFloat64())
+	}
+	for i := range bb {
+		bb[i] = float32(r.NormFloat64())
+	}
+	b.SetBytes(int64(2 * m * n * k))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Gemm(a, bb, m, n, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package kernels
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/tensor"
+)
+
+// im2col: the matrix-unroll step of the Caffe/cuDNN convolution path.  It
+// expands the NCHW input tensor into a 2-D matrix so that the convolution
+// becomes a single GEMM (Section II.B).  The expansion multiplies the input
+// footprint by FH*FW/ (StrideH*StrideW), which is the "matrix transformation
+// overhead" the paper blames for the poor NCHW performance at small C.
+
+// Im2col expands the input batch into the unrolled matrix B of the GEMM
+// formulation.  The result is row-major with
+//
+//	rows = C*FH*FW            (the reduction dimension K of the GEMM)
+//	cols = N*OutH*OutW        (one column per output pixel of the batch)
+//
+// Out-of-range taps (from padding) contribute zeros.
+func Im2col(in *tensor.Tensor, cfg ConvConfig) ([]float32, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Shape != cfg.InputShape() {
+		return nil, fmt.Errorf("kernels: im2col input shape %v does not match config %v", in.Shape, cfg.InputShape())
+	}
+	outH, outW := cfg.OutH(), cfg.OutW()
+	rows := cfg.C * cfg.FH * cfg.FW
+	cols := cfg.N * outH * outW
+	out := make([]float32, rows*cols)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * rows / workers
+		hi := (wkr + 1) * rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for row := lo; row < hi; row++ {
+				c := row / (cfg.FH * cfg.FW)
+				rem := row % (cfg.FH * cfg.FW)
+				fh := rem / cfg.FW
+				fw := rem % cfg.FW
+				dst := out[row*cols : (row+1)*cols]
+				col := 0
+				for n := 0; n < cfg.N; n++ {
+					for oh := 0; oh < outH; oh++ {
+						ih := oh*cfg.StrideH - cfg.PadH + fh
+						for ow := 0; ow < outW; ow++ {
+							iw := ow*cfg.StrideW - cfg.PadW + fw
+							if ih >= 0 && ih < cfg.H && iw >= 0 && iw < cfg.W {
+								dst[col] = in.At(n, c, ih, iw)
+							}
+							col++
+						}
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// Im2colCost models the GPU im2col kernel: it reads the input once (the
+// source reads along W are coalesced in NCHW) and writes the expanded matrix,
+// which is FH*FW/(SH*SW) times larger than the input.  The expanded matrix is
+// then read back by the GEMM, so the expansion costs DRAM bandwidth twice.
+// Only the write half is accounted here; the read-back belongs to the GEMM's
+// B-operand traffic.
+func Im2colCost(d *gpusim.Device, cfg ConvConfig) gpusim.KernelStats {
+	cfg = cfg.withDefaults()
+	inBytes := float64(cfg.InputShape().Elems()) * 4
+	expandedBytes := float64(cfg.C*cfg.FH*cfg.FW) * float64(cfg.N*cfg.OutH()*cfg.OutW()) * 4
+
+	// Source loads: each input element is touched FH*FW/(SH*SW) times, but
+	// consecutive output columns read overlapping rows that hit in L1/L2, so
+	// the DRAM read traffic stays close to one pass over the input.
+	readBytes := inBytes * 1.15
+
+	threads := cfg.N * cfg.OutH() * cfg.OutW()
+	blocks := ceilDiv(threads, 256)
+	return gpusim.KernelStats{
+		Name:       fmt.Sprintf("im2col %s", cfg.String()),
+		GridBlocks: blocks,
+		Block:      gpusim.BlockResources{ThreadsPerBlock: 256, RegsPerThread: 24},
+		Launches:   1,
+		// Pure data movement: negligible arithmetic.
+		FLOPs:             0,
+		ComputeEfficiency: 1,
+		DRAMReadBytes:     readBytes,
+		DRAMWriteBytes:    expandedBytes,
+		UsefulReadBytes:   inBytes,
+		UsefulWriteBytes:  expandedBytes,
+	}
+}
+
+// Im2colWorkspaceBytes returns the extra device memory the unrolled matrix
+// needs, the figure the paper quotes when discussing transformation memory
+// overhead.
+func Im2colWorkspaceBytes(cfg ConvConfig) int64 {
+	cfg = cfg.withDefaults()
+	return int64(cfg.C*cfg.FH*cfg.FW) * int64(cfg.N*cfg.OutH()*cfg.OutW()) * 4
+}

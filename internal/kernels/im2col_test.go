@@ -1,0 +1,98 @@
+package kernels
+
+import (
+	"testing"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/tensor"
+)
+
+func TestIm2colSmallExample(t *testing.T) {
+	// 1 image, 1 channel, 3x3 input, 2x2 filter, stride 1: the unrolled
+	// matrix has 4 rows (filter taps) and 4 columns (output pixels).
+	cfg := ConvConfig{N: 1, C: 1, H: 3, W: 3, K: 1, FH: 2, FW: 2}
+	in := tensor.New(cfg.InputShape(), tensor.NCHW)
+	copy(in.Data, []float32{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	got, err := Im2col(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row r corresponds to filter tap (fh, fw); column c to output (oh, ow).
+	want := []float32{
+		1, 2, 4, 5, // tap (0,0)
+		2, 3, 5, 6, // tap (0,1)
+		4, 5, 7, 8, // tap (1,0)
+		5, 6, 8, 9, // tap (1,1)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("unrolled[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIm2colPaddingProducesZeros(t *testing.T) {
+	cfg := ConvConfig{N: 1, C: 1, H: 2, W: 2, K: 1, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	in := tensor.New(cfg.InputShape(), tensor.NCHW)
+	in.Fill(1)
+	got, err := Im2col(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corners of the padded image are zero; make sure zeros appear and the
+	// total count of ones equals input elements * how often each is used.
+	var ones, zeros int
+	for _, v := range got {
+		switch v {
+		case 1:
+			ones++
+		case 0:
+			zeros++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	if zeros == 0 {
+		t.Error("padding must contribute zeros")
+	}
+	if ones+zeros != len(got) {
+		t.Error("unexpected values in unrolled matrix")
+	}
+}
+
+func TestIm2colShapeMismatch(t *testing.T) {
+	cfg := ConvConfig{N: 2, C: 2, H: 4, W: 4, K: 1, FH: 3, FW: 3}
+	in := tensor.New(tensor.Shape{N: 2, C: 2, H: 5, W: 4}, tensor.NCHW)
+	if _, err := Im2col(in, cfg); err == nil {
+		t.Error("shape mismatch must be rejected")
+	}
+	if _, err := Im2col(tensor.New(cfg.InputShape(), tensor.NCHW), ConvConfig{}); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+}
+
+func TestIm2colCostScalesWithFilterArea(t *testing.T) {
+	d := gpusim.TitanBlack()
+	small := Im2colCost(d, ConvConfig{N: 32, C: 64, H: 28, W: 28, K: 64, FH: 1, FW: 1})
+	large := Im2colCost(d, ConvConfig{N: 32, C: 64, H: 28, W: 28, K: 64, FH: 5, FW: 5})
+	if large.DRAMWriteBytes <= small.DRAMWriteBytes {
+		t.Error("a 5x5 unroll writes far more than a 1x1 unroll")
+	}
+	if err := small.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := large.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIm2colWorkspaceBytes(t *testing.T) {
+	cfg := ConvConfig{N: 2, C: 3, H: 8, W: 8, K: 4, FH: 3, FW: 3}
+	want := int64(3*3*3) * int64(2*6*6) * 4
+	if got := Im2colWorkspaceBytes(cfg); got != want {
+		t.Errorf("workspace = %d, want %d", got, want)
+	}
+}

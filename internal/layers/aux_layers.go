@@ -1,0 +1,327 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// Softmax is the classifier layer; its input and output are logically
+// N×Classes matrices carried as N×C×1×1 tensors.
+type Softmax struct {
+	LayerName string
+	Cfg       kernels.SoftmaxConfig
+}
+
+// NewSoftmax builds a softmax layer.
+func NewSoftmax(name string, cfg kernels.SoftmaxConfig) (*Softmax, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Softmax{LayerName: name, Cfg: cfg}, nil
+}
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return s.LayerName }
+
+// InputShape implements Layer.
+func (s *Softmax) InputShape() tensor.Shape {
+	return tensor.Shape{N: s.Cfg.N, C: s.Cfg.Classes, H: 1, W: 1}
+}
+
+// OutputShape implements Layer.
+func (s *Softmax) OutputShape() tensor.Shape { return s.InputShape() }
+
+// SupportsLayout implements Layer.  With H = W = 1 the NCHW and CHWN
+// linearisations are the only two distinct ones the libraries use; the kernel
+// cost does not depend on which, so both are accepted.
+func (s *Softmax) SupportsLayout(l tensor.Layout) bool {
+	return l == tensor.CHWN || l == tensor.NCHW
+}
+
+// Cost implements Layer.
+func (s *Softmax) Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]gpusim.KernelStats, error) {
+	if !s.SupportsLayout(l) {
+		return nil, fmt.Errorf("layers: %s: unsupported layout %v", s.LayerName, l)
+	}
+	return []gpusim.KernelStats{kernels.SoftmaxCost(d, s.Cfg, opts.Softmax)}, nil
+}
+
+// Forward implements Layer.
+func (s *Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Shape != s.InputShape() {
+		return nil, fmt.Errorf("layers: %s: input shape %v, want %v", s.LayerName, in.Shape, s.InputShape())
+	}
+	logits := make([]float32, s.Cfg.Elems())
+	for n := 0; n < s.Cfg.N; n++ {
+		for c := 0; c < s.Cfg.Classes; c++ {
+			logits[n*s.Cfg.Classes+c] = in.At(n, c, 0, 0)
+		}
+	}
+	probs, err := kernels.Softmax(logits, s.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(s.OutputShape(), in.Layout)
+	for n := 0; n < s.Cfg.N; n++ {
+		for c := 0; c < s.Cfg.Classes; c++ {
+			out.Set(n, c, 0, 0, probs[n*s.Cfg.Classes+c])
+		}
+	}
+	return out, nil
+}
+
+// FullyConnected is a dense layer computing Out = In × Wᵀ for a batch of
+// flattened feature vectors.  Both libraries implement it as a matrix
+// multiplication regardless of the activation layout, so its cost is layout
+// independent — it only matters for whole-network totals.
+type FullyConnected struct {
+	LayerName string
+	Batch     int
+	InDim     int
+	OutDim    int
+	Seed      uint64
+
+	weights []float32
+}
+
+// NewFullyConnected builds a dense layer.
+func NewFullyConnected(name string, batch, inDim, outDim int, seed uint64) (*FullyConnected, error) {
+	if batch <= 0 || inDim <= 0 || outDim <= 0 {
+		return nil, fmt.Errorf("layers: fully-connected dims must be positive (batch=%d in=%d out=%d)", batch, inDim, outDim)
+	}
+	return &FullyConnected{LayerName: name, Batch: batch, InDim: inDim, OutDim: outDim, Seed: seed}, nil
+}
+
+// Name implements Layer.
+func (f *FullyConnected) Name() string { return f.LayerName }
+
+// InputShape implements Layer.
+func (f *FullyConnected) InputShape() tensor.Shape {
+	return tensor.Shape{N: f.Batch, C: f.InDim, H: 1, W: 1}
+}
+
+// OutputShape implements Layer.
+func (f *FullyConnected) OutputShape() tensor.Shape {
+	return tensor.Shape{N: f.Batch, C: f.OutDim, H: 1, W: 1}
+}
+
+// SupportsLayout implements Layer.
+func (f *FullyConnected) SupportsLayout(l tensor.Layout) bool {
+	return l == tensor.CHWN || l == tensor.NCHW
+}
+
+// Cost implements Layer: one SGEMM of (OutDim × InDim) by (InDim × Batch).
+func (f *FullyConnected) Cost(d *gpusim.Device, l tensor.Layout, _ CostOptions) ([]gpusim.KernelStats, error) {
+	if !f.SupportsLayout(l) {
+		return nil, fmt.Errorf("layers: %s: unsupported layout %v", f.LayerName, l)
+	}
+	s := kernels.GemmCost(d, kernels.GemmCostConfig{M: f.OutDim, N: f.Batch, K: f.InDim})
+	s.Name = fmt.Sprintf("fc %s %dx%d", f.LayerName, f.InDim, f.OutDim)
+	return []gpusim.KernelStats{s}, nil
+}
+
+// Weights returns (generating on first use) the deterministic weight matrix,
+// row-major OutDim×InDim.
+func (f *FullyConnected) Weights() []float32 {
+	if f.weights == nil {
+		t := tensor.Random(tensor.Shape{N: f.OutDim, C: f.InDim, H: 1, W: 1}, tensor.NCHW, f.Seed)
+		f.weights = t.Data
+	}
+	return f.weights
+}
+
+// Forward implements Layer.
+func (f *FullyConnected) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	want := f.InputShape()
+	if in.Shape.Elems() != want.Elems() || in.Shape.N != f.Batch {
+		return nil, fmt.Errorf("layers: %s: input shape %v incompatible with %v", f.LayerName, in.Shape, want)
+	}
+	// Flatten each image's features in canonical (C,H,W) order.
+	flat := make([]float32, f.Batch*f.InDim)
+	idx := 0
+	for n := 0; n < in.Shape.N; n++ {
+		for c := 0; c < in.Shape.C; c++ {
+			for h := 0; h < in.Shape.H; h++ {
+				for w := 0; w < in.Shape.W; w++ {
+					flat[idx] = in.At(n, c, h, w)
+					idx++
+				}
+			}
+		}
+	}
+	// out[n][o] = sum_k W[o][k] * flat[n][k]; computed as W (Out×In) times
+	// flatᵀ (In×Batch) by iterating images.
+	out := tensor.New(f.OutputShape(), in.Layout)
+	w := f.Weights()
+	for n := 0; n < f.Batch; n++ {
+		row := flat[n*f.InDim : (n+1)*f.InDim]
+		for o := 0; o < f.OutDim; o++ {
+			var acc float64
+			wRow := w[o*f.InDim : (o+1)*f.InDim]
+			for k, v := range row {
+				acc += float64(v) * float64(wRow[k])
+			}
+			out.Set(n, o, 0, 0, float32(acc))
+		}
+	}
+	return out, nil
+}
+
+// ReLU is the element-wise rectifier.  It is purely bandwidth bound and
+// layout agnostic; it participates in whole-network totals only.
+type ReLU struct {
+	LayerName string
+	Shape     tensor.Shape
+}
+
+// NewReLU builds a ReLU layer.
+func NewReLU(name string, shape tensor.Shape) (*ReLU, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("layers: relu shape %v invalid", shape)
+	}
+	return &ReLU{LayerName: name, Shape: shape}, nil
+}
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return r.LayerName }
+
+// InputShape implements Layer.
+func (r *ReLU) InputShape() tensor.Shape { return r.Shape }
+
+// OutputShape implements Layer.
+func (r *ReLU) OutputShape() tensor.Shape { return r.Shape }
+
+// SupportsLayout implements Layer.
+func (r *ReLU) SupportsLayout(tensor.Layout) bool { return true }
+
+// Cost implements Layer: one streaming pass, read + write.
+func (r *ReLU) Cost(d *gpusim.Device, _ tensor.Layout, _ CostOptions) ([]gpusim.KernelStats, error) {
+	bytes := float64(r.Shape.Bytes())
+	return []gpusim.KernelStats{{
+		Name:              "relu " + r.LayerName,
+		GridBlocks:        ceil(r.Shape.Elems(), 256),
+		Block:             gpusim.BlockResources{ThreadsPerBlock: 256, RegsPerThread: 16},
+		Launches:          1,
+		FLOPs:             float64(r.Shape.Elems()),
+		ComputeEfficiency: 1,
+		DRAMReadBytes:     bytes,
+		DRAMWriteBytes:    bytes,
+		UsefulReadBytes:   bytes,
+		UsefulWriteBytes:  bytes,
+	}}, nil
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Shape != r.Shape {
+		return nil, fmt.Errorf("layers: %s: input shape %v, want %v", r.LayerName, in.Shape, r.Shape)
+	}
+	out := in.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// LRN is the local response normalisation layer used by AlexNet: each value
+// is divided by a function of the sum of squares of its channel neighbours.
+type LRN struct {
+	LayerName string
+	Shape     tensor.Shape
+	LocalSize int
+	Alpha     float64
+	Beta      float64
+}
+
+// NewLRN builds an LRN layer with AlexNet's default parameters when alpha or
+// beta are zero.
+func NewLRN(name string, shape tensor.Shape, localSize int, alpha, beta float64) (*LRN, error) {
+	if !shape.Valid() {
+		return nil, fmt.Errorf("layers: lrn shape %v invalid", shape)
+	}
+	if localSize <= 0 {
+		return nil, fmt.Errorf("layers: lrn local size must be positive")
+	}
+	if alpha == 0 {
+		alpha = 1e-4
+	}
+	if beta == 0 {
+		beta = 0.75
+	}
+	return &LRN{LayerName: name, Shape: shape, LocalSize: localSize, Alpha: alpha, Beta: beta}, nil
+}
+
+// Name implements Layer.
+func (l *LRN) Name() string { return l.LayerName }
+
+// InputShape implements Layer.
+func (l *LRN) InputShape() tensor.Shape { return l.Shape }
+
+// OutputShape implements Layer.
+func (l *LRN) OutputShape() tensor.Shape { return l.Shape }
+
+// SupportsLayout implements Layer.
+func (l *LRN) SupportsLayout(tensor.Layout) bool { return true }
+
+// Cost implements Layer: the cross-channel window makes it read the
+// neighbourhood of every element; part of the re-reads hit in cache.
+func (l *LRN) Cost(d *gpusim.Device, _ tensor.Layout, _ CostOptions) ([]gpusim.KernelStats, error) {
+	bytes := float64(l.Shape.Bytes())
+	return []gpusim.KernelStats{{
+		Name:              "lrn " + l.LayerName,
+		GridBlocks:        ceil(l.Shape.Elems(), 256),
+		Block:             gpusim.BlockResources{ThreadsPerBlock: 256, RegsPerThread: 32},
+		Launches:          1,
+		FLOPs:             float64(l.Shape.Elems()) * float64(2*l.LocalSize+10),
+		ComputeEfficiency: 0.4,
+		DRAMReadBytes:     bytes * 2,
+		DRAMWriteBytes:    bytes,
+		UsefulReadBytes:   bytes,
+		UsefulWriteBytes:  bytes,
+	}}, nil
+}
+
+// Forward implements Layer.
+func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Shape != l.Shape {
+		return nil, fmt.Errorf("layers: %s: input shape %v, want %v", l.LayerName, in.Shape, l.Shape)
+	}
+	out := tensor.New(l.Shape, in.Layout)
+	half := l.LocalSize / 2
+	for n := 0; n < l.Shape.N; n++ {
+		for c := 0; c < l.Shape.C; c++ {
+			lo, hi := c-half, c+half
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= l.Shape.C {
+				hi = l.Shape.C - 1
+			}
+			for h := 0; h < l.Shape.H; h++ {
+				for w := 0; w < l.Shape.W; w++ {
+					var sq float64
+					for cc := lo; cc <= hi; cc++ {
+						v := float64(in.At(n, cc, h, w))
+						sq += v * v
+					}
+					scale := math.Pow(1+l.Alpha/float64(l.LocalSize)*sq, -l.Beta)
+					out.Set(n, c, h, w, float32(float64(in.At(n, c, h, w))*scale))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func ceil(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

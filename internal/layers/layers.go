@@ -1,0 +1,279 @@
+// Package layers provides the CNN layer abstraction that networks are built
+// from: convolution, pooling, softmax, fully-connected, ReLU and LRN layers.
+// Every layer offers
+//
+//   - a functional forward pass (used by the examples and correctness tests)
+//   - a GPU cost query for a given data layout and implementation choice,
+//     returning the kernel sequence modelled by internal/kernels.
+//
+// The separation mirrors the paper's experimental set-up: the layer's values
+// do not depend on layout or implementation, only its memory behaviour does.
+package layers
+
+import (
+	"fmt"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// ConvImpl selects the convolution implementation used for a cost query.
+type ConvImpl int
+
+// Convolution implementation choices (Section II.B).
+const (
+	// ConvAuto picks the conventional implementation for the layout: direct
+	// convolution for CHWN, the best available NCHW mode for NCHW.
+	ConvAuto ConvImpl = iota
+	// ConvDirectImpl is the cuda-convnet direct convolution (CHWN only).
+	ConvDirectImpl
+	// ConvGemmImpl is the Caffe/cuDNN im2col + GEMM mode (NCHW only).
+	ConvGemmImpl
+	// ConvFFTImpl is the cuDNN FFT mode (NCHW only); it can fail with
+	// ErrOutOfMemory.
+	ConvFFTImpl
+	// ConvFFTTilingImpl is the cuDNN FFT-Tiling mode (NCHW only).
+	ConvFFTTilingImpl
+	// ConvBestNCHW cherry-picks the fastest NCHW mode that fits in memory,
+	// the policy of the paper's "cuDNN-Best" configuration.
+	ConvBestNCHW
+)
+
+// String names the implementation.
+func (i ConvImpl) String() string {
+	switch i {
+	case ConvAuto:
+		return "auto"
+	case ConvDirectImpl:
+		return "direct"
+	case ConvGemmImpl:
+		return "gemm"
+	case ConvFFTImpl:
+		return "fft"
+	case ConvFFTTilingImpl:
+		return "fft-tiling"
+	case ConvBestNCHW:
+		return "best-nchw"
+	default:
+		return fmt.Sprintf("ConvImpl(%d)", int(i))
+	}
+}
+
+// PoolImpl selects the pooling implementation used for a cost query.
+type PoolImpl int
+
+// Pooling implementation choices.
+const (
+	// PoolPlain is the library kernel for the layout (cuda-convnet for CHWN,
+	// Caffe/cuDNN for NCHW).
+	PoolPlain PoolImpl = iota
+	// PoolOptimized is the paper's register-reuse kernel (CHWN only); the
+	// expansion factors come from CostOptions.PoolExpansion.
+	PoolOptimized
+	// PoolCuDNNVariant is the cuDNN NCHW kernel (adds the backward mask
+	// write); used by the cuDNN framework emulation.
+	PoolCuDNNVariant
+)
+
+// String names the implementation.
+func (i PoolImpl) String() string {
+	switch i {
+	case PoolPlain:
+		return "plain"
+	case PoolOptimized:
+		return "optimized"
+	case PoolCuDNNVariant:
+		return "cudnn"
+	default:
+		return fmt.Sprintf("PoolImpl(%d)", int(i))
+	}
+}
+
+// CostOptions selects the implementation variants for a cost query.  The zero
+// value is the conventional library behaviour for the layout.
+type CostOptions struct {
+	Conv          ConvImpl
+	Pool          PoolImpl
+	PoolExpansion kernels.PoolExpansion // zero value lets the layer pick 2x2
+	Softmax       kernels.SoftmaxImpl
+}
+
+// Layer is one stage of a CNN.
+type Layer interface {
+	// Name identifies the layer inside its network (e.g. "conv1").
+	Name() string
+	// InputShape and OutputShape describe the logical tensors.
+	InputShape() tensor.Shape
+	OutputShape() tensor.Shape
+	// SupportsLayout reports whether the layer has an implementation for the
+	// given activation layout.
+	SupportsLayout(l tensor.Layout) bool
+	// Cost returns the GPU kernel sequence for executing the layer with the
+	// given activation layout and implementation options.
+	Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]gpusim.KernelStats, error)
+	// Forward computes the layer functionally.  The output keeps the input's
+	// layout where that is meaningful.
+	Forward(in *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Conv is a convolutional layer.
+type Conv struct {
+	LayerName string
+	Cfg       kernels.ConvConfig
+	// Seed generates the deterministic filter bank used by Forward.
+	Seed uint64
+
+	filters *tensor.Tensor
+}
+
+// NewConv builds a convolutional layer.
+func NewConv(name string, cfg kernels.ConvConfig, seed uint64) (*Conv, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Conv{LayerName: name, Cfg: cfg, Seed: seed}, nil
+}
+
+// Name implements Layer.
+func (c *Conv) Name() string { return c.LayerName }
+
+// InputShape implements Layer.
+func (c *Conv) InputShape() tensor.Shape { return c.Cfg.InputShape() }
+
+// OutputShape implements Layer.
+func (c *Conv) OutputShape() tensor.Shape { return c.Cfg.OutputShape() }
+
+// SupportsLayout implements Layer: convolutions run in CHWN (direct) or NCHW
+// (GEMM / FFT).
+func (c *Conv) SupportsLayout(l tensor.Layout) bool {
+	return l == tensor.CHWN || l == tensor.NCHW
+}
+
+// Filters returns (generating on first use) the layer's deterministic filter
+// bank.
+func (c *Conv) Filters() *tensor.Tensor {
+	if c.filters == nil {
+		c.filters = tensor.Filters(c.Cfg.K, c.Cfg.C, c.Cfg.FH, c.Cfg.FW, c.Seed)
+	}
+	return c.filters
+}
+
+// Cost implements Layer.
+func (c *Conv) Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]gpusim.KernelStats, error) {
+	impl := opts.Conv
+	switch l {
+	case tensor.CHWN:
+		if impl == ConvAuto {
+			impl = ConvDirectImpl
+		}
+		if impl != ConvDirectImpl {
+			return nil, fmt.Errorf("layers: %s: %v convolution is not available in the CHWN layout", c.LayerName, impl)
+		}
+		return []gpusim.KernelStats{kernels.ConvDirectCHWNCost(d, c.Cfg)}, nil
+	case tensor.NCHW:
+		if impl == ConvAuto {
+			impl = ConvGemmImpl
+		}
+		switch impl {
+		case ConvGemmImpl:
+			return kernels.ConvGemmNCHWCost(d, c.Cfg), nil
+		case ConvFFTImpl:
+			return kernels.ConvFFTCost(d, c.Cfg)
+		case ConvFFTTilingImpl:
+			return kernels.ConvFFTTilingCost(d, c.Cfg)
+		case ConvBestNCHW:
+			return c.bestNCHW(d), nil
+		default:
+			return nil, fmt.Errorf("layers: %s: %v convolution is not available in the NCHW layout", c.LayerName, impl)
+		}
+	default:
+		return nil, fmt.Errorf("layers: %s: unsupported layout %v", c.LayerName, l)
+	}
+}
+
+// bestNCHW picks the fastest NCHW mode that fits in device memory, falling
+// back to GEMM the way cuDNN falls back when an FFT mode fails.
+func (c *Conv) bestNCHW(d *gpusim.Device) []gpusim.KernelStats {
+	best := kernels.ConvGemmNCHWCost(d, c.Cfg)
+	bestT, _ := gpusim.EstimateSequence(d, best)
+	if fftSeq, err := kernels.ConvFFTCost(d, c.Cfg); err == nil {
+		if t, _ := gpusim.EstimateSequence(d, fftSeq); t < bestT {
+			best, bestT = fftSeq, t
+		}
+	}
+	if fftT, err := kernels.ConvFFTTilingCost(d, c.Cfg); err == nil {
+		if t, _ := gpusim.EstimateSequence(d, fftT); t < bestT {
+			best, bestT = fftT, t
+		}
+	}
+	return best
+}
+
+// Forward implements Layer using the direct convolution reference.
+func (c *Conv) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return kernels.ConvDirect(in, c.Filters(), c.Cfg, in.Layout)
+}
+
+// Pool is a pooling layer.
+type Pool struct {
+	LayerName string
+	Cfg       kernels.PoolConfig
+}
+
+// NewPool builds a pooling layer.
+func NewPool(name string, cfg kernels.PoolConfig) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pool{LayerName: name, Cfg: cfg}, nil
+}
+
+// Name implements Layer.
+func (p *Pool) Name() string { return p.LayerName }
+
+// InputShape implements Layer.
+func (p *Pool) InputShape() tensor.Shape { return p.Cfg.InputShape() }
+
+// OutputShape implements Layer.
+func (p *Pool) OutputShape() tensor.Shape { return p.Cfg.OutputShape() }
+
+// SupportsLayout implements Layer.
+func (p *Pool) SupportsLayout(l tensor.Layout) bool {
+	return l == tensor.CHWN || l == tensor.NCHW
+}
+
+// Cost implements Layer.
+func (p *Pool) Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]gpusim.KernelStats, error) {
+	switch l {
+	case tensor.CHWN:
+		switch opts.Pool {
+		case PoolOptimized:
+			e := opts.PoolExpansion
+			if e.H <= 0 || e.W <= 0 {
+				e = kernels.PoolExpansion{H: 2, W: 2}
+			}
+			return []gpusim.KernelStats{kernels.PoolCHWNCoarsenedCost(d, p.Cfg, e)}, nil
+		case PoolCuDNNVariant:
+			return nil, fmt.Errorf("layers: %s: the cuDNN pooling kernel uses the NCHW layout", p.LayerName)
+		default:
+			return []gpusim.KernelStats{kernels.PoolCHWNCost(d, p.Cfg)}, nil
+		}
+	case tensor.NCHW:
+		variant := kernels.PoolCaffe
+		if opts.Pool == PoolCuDNNVariant {
+			variant = kernels.PoolCuDNN
+		}
+		if opts.Pool == PoolOptimized {
+			return nil, fmt.Errorf("layers: %s: the optimised pooling kernel requires the CHWN layout", p.LayerName)
+		}
+		return []gpusim.KernelStats{kernels.PoolNCHWCost(d, p.Cfg, variant)}, nil
+	default:
+		return nil, fmt.Errorf("layers: %s: unsupported layout %v", p.LayerName, l)
+	}
+}
+
+// Forward implements Layer.
+func (p *Pool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return kernels.Pool(in, p.Cfg)
+}

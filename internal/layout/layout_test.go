@@ -1,0 +1,196 @@
+package layout
+
+import (
+	"testing"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// table1Convs are the twelve convolutional layers of Table 1.
+var table1Convs = map[string]kernels.ConvConfig{
+	"CV1":  {N: 128, C: 1, H: 28, W: 28, K: 16, FH: 5, FW: 5},
+	"CV2":  {N: 128, C: 16, H: 14, W: 14, K: 16, FH: 5, FW: 5},
+	"CV3":  {N: 128, C: 3, H: 24, W: 24, K: 64, FH: 5, FW: 5},
+	"CV4":  {N: 128, C: 64, H: 12, W: 12, K: 64, FH: 5, FW: 5},
+	"CV5":  {N: 64, C: 3, H: 224, W: 224, K: 96, FH: 3, FW: 3, StrideH: 2, StrideW: 2},
+	"CV6":  {N: 64, C: 96, H: 55, W: 55, K: 256, FH: 5, FW: 5, StrideH: 2, StrideW: 2},
+	"CV7":  {N: 64, C: 256, H: 13, W: 13, K: 384, FH: 3, FW: 3},
+	"CV8":  {N: 64, C: 384, H: 13, W: 13, K: 384, FH: 3, FW: 3},
+	"CV9":  {N: 32, C: 3, H: 224, W: 224, K: 64, FH: 3, FW: 3},
+	"CV10": {N: 32, C: 128, H: 56, W: 56, K: 256, FH: 3, FW: 3},
+	"CV11": {N: 32, C: 256, H: 28, W: 28, K: 512, FH: 3, FW: 3},
+	"CV12": {N: 32, C: 512, H: 14, W: 14, K: 512, FH: 3, FW: 3},
+}
+
+// wantCHWN lists the layers for which the paper finds the CHWN layout faster
+// (Section VI.A: CONV1–CONV4 because N=128, CONV5 and CONV9 because C < 16).
+var wantCHWN = map[string]bool{
+	"CV1": true, "CV2": true, "CV3": true, "CV4": true, "CV5": true, "CV9": true,
+	"CV6": false, "CV7": false, "CV8": false, "CV10": false, "CV11": false, "CV12": false,
+}
+
+func TestPaperThresholdsClassifyTable1(t *testing.T) {
+	th := TitanBlackThresholds()
+	for name, cfg := range table1Convs {
+		got := PreferredConvLayout(cfg, th)
+		want := tensor.NCHW
+		if wantCHWN[name] {
+			want = tensor.CHWN
+		}
+		if got != want {
+			t.Errorf("%s: heuristic chose %v, paper measures %v as faster", name, got, want)
+		}
+	}
+}
+
+func TestHeuristicMatchesCostModelOracle(t *testing.T) {
+	// The heuristic must agree with the cost model's own winner for every
+	// Table 1 layer (the paper's claim: "all the benchmarking layers in
+	// Table 1 confirm the effectiveness of our heuristics").
+	d := gpusim.TitanBlack()
+	th := TitanBlackThresholds()
+	for name, cfg := range table1Convs {
+		heuristic := PreferredConvLayout(cfg, th)
+		oracle, chwnUS, nchwUS := MeasuredConvWinner(d, cfg)
+		if heuristic != oracle {
+			t.Errorf("%s: heuristic %v but model oracle %v (CHWN %.0fus, NCHW %.0fus)",
+				name, heuristic, oracle, chwnUS, nchwUS)
+		}
+	}
+}
+
+func TestPreferredConvLayoutDefaultsWhenInvalidThresholds(t *testing.T) {
+	cfg := table1Convs["CV7"]
+	if got := PreferredConvLayout(cfg, Thresholds{}); got != tensor.NCHW {
+		t.Errorf("invalid thresholds should fall back to Titan Black values, got %v", got)
+	}
+}
+
+func TestPreferredPoolLayoutIsAlwaysCHWN(t *testing.T) {
+	pools := []kernels.PoolConfig{
+		{N: 128, C: 16, H: 28, W: 28, Window: 2, Stride: 2},
+		{N: 64, C: 256, H: 13, W: 13, Window: 3, Stride: 2},
+	}
+	for _, cfg := range pools {
+		if PreferredPoolLayout(cfg) != tensor.CHWN {
+			t.Errorf("%v: pooling must prefer CHWN", cfg)
+		}
+	}
+}
+
+func TestPublishedThresholds(t *testing.T) {
+	if got := TitanBlackThresholds(); got != (Thresholds{Ct: 32, Nt: 128}) {
+		t.Errorf("Titan Black thresholds = %v", got)
+	}
+	if got := TitanXThresholds(); got != (Thresholds{Ct: 128, Nt: 64}) {
+		t.Errorf("Titan X thresholds = %v", got)
+	}
+	if !TitanBlackThresholds().Valid() || (Thresholds{}).Valid() {
+		t.Error("Valid() incorrect")
+	}
+	if TitanBlackThresholds().String() == "" {
+		t.Error("String must not be empty")
+	}
+}
+
+func TestCalibrateProducesUsableThresholds(t *testing.T) {
+	d := gpusim.TitanBlack()
+	th := Calibrate(d)
+	if !th.Valid() {
+		t.Fatalf("calibration produced invalid thresholds %v", th)
+	}
+	// The calibrated thresholds must classify every Table 1 layer the same
+	// way the paper's measurements do.
+	for name, cfg := range table1Convs {
+		got := PreferredConvLayout(cfg, th)
+		want := tensor.NCHW
+		if wantCHWN[name] {
+			want = tensor.CHWN
+		}
+		if got != want {
+			t.Errorf("%s: calibrated thresholds %v chose %v, want %v", name, th, got, want)
+		}
+	}
+}
+
+func TestCalibrateTitanXAlsoClassifiesTable1(t *testing.T) {
+	d := gpusim.TitanX()
+	th := Calibrate(d)
+	if !th.Valid() {
+		t.Fatalf("calibration produced invalid thresholds %v", th)
+	}
+	for name, cfg := range table1Convs {
+		heuristic := PreferredConvLayout(cfg, th)
+		oracle, _, _ := MeasuredConvWinner(d, cfg)
+		if heuristic != oracle {
+			t.Errorf("Titan X %s: heuristic %v disagrees with oracle %v", name, heuristic, oracle)
+		}
+	}
+}
+
+func TestSweepNShowsCHWNSensitivity(t *testing.T) {
+	// Fig. 4a: the CHWN throughput rises steeply with N and overtakes NCHW
+	// by N=128; NCHW is comparatively flat.
+	d := gpusim.TitanBlack()
+	nValues := []int{16, 32, 64, 128, 256}
+	pts := SweepN(d, nValues)
+	if len(pts) != len(nValues) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].CHWNGflops < pts[i-1].CHWNGflops {
+			t.Errorf("CHWN throughput decreased from N=%d to N=%d", pts[i-1].Value, pts[i].Value)
+		}
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if last.CHWNGflops < 3*first.CHWNGflops {
+		t.Errorf("CHWN should be strongly N-sensitive: %0.f -> %0.f GFLOPS", first.CHWNGflops, last.CHWNGflops)
+	}
+	nchwSpread := last.NCHWGflops / pts[1].NCHWGflops
+	if nchwSpread > 3 {
+		t.Errorf("NCHW should be comparatively flat in N, got spread %.1fx", nchwSpread)
+	}
+	if first.CHWNPrefers {
+		t.Error("at N=16 NCHW should win")
+	}
+	if !last.CHWNPrefers {
+		t.Error("at N=256 CHWN should win")
+	}
+}
+
+func TestSweepCShowsCrossover(t *testing.T) {
+	// Fig. 4b: CHWN wins at small C, NCHW wins at large C.
+	d := gpusim.TitanBlack()
+	pts := SweepC(d, []int{8, 16, 32, 64, 128, 256})
+	if !pts[0].CHWNPrefers {
+		t.Error("at C=8 CHWN should win")
+	}
+	if pts[len(pts)-1].CHWNPrefers {
+		t.Error("at C=256 NCHW should win")
+	}
+	// NCHW throughput must grow with C (matrix expansion pays off).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].NCHWGflops < pts[i-1].NCHWGflops {
+			t.Errorf("NCHW throughput decreased from C=%d to C=%d", pts[i-1].Value, pts[i].Value)
+		}
+	}
+}
+
+func TestCalibrationSweepsNonEmpty(t *testing.T) {
+	ns, cs := CalibrationSweeps()
+	if len(ns) == 0 || len(cs) == 0 {
+		t.Fatal("sweeps must not be empty")
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] <= ns[i-1] {
+			t.Error("N sweep must be increasing")
+		}
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i] <= cs[i-1] {
+			t.Error("C sweep must be increasing")
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package netconfig reads and writes network descriptions as JSON
+// configuration files, mirroring the way Caffe and cuda-convnet describe a
+// CNN as a stack of layer specifications (Section IV.D).  The format carries
+// an optional per-layer "layout" field — the new field the paper adds so the
+// framework can record which data layout each convolutional or pooling layer
+// should use — and Annotate fills that field from an execution plan.
+package netconfig
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/layers"
+	"memcnn/internal/network"
+	"memcnn/internal/tensor"
+)
+
+// LayerSpec is one entry of the configuration file.
+type LayerSpec struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // conv, pool, relu, lrn, fc, softmax
+
+	// Convolution parameters.
+	Filters int `json:"filters,omitempty"`
+	Kernel  int `json:"kernel,omitempty"`
+	Stride  int `json:"stride,omitempty"`
+	Pad     int `json:"pad,omitempty"`
+
+	// Pooling parameters.
+	Window  int    `json:"window,omitempty"`
+	PoolOp  string `json:"pool_op,omitempty"` // "max" (default) or "avg"
+	PoolStr int    `json:"pool_stride,omitempty"`
+
+	// Fully-connected / softmax parameters.
+	Outputs int `json:"outputs,omitempty"`
+	Classes int `json:"classes,omitempty"`
+
+	// LRN parameters.
+	LocalSize int `json:"local_size,omitempty"`
+
+	// Layout is the data layout the layer should use ("NCHW", "CHWN" or
+	// empty/"auto" to let the optimiser decide).  This is the field the
+	// paper's framework integration adds to the layer definition.
+	Layout string `json:"layout,omitempty"`
+}
+
+// InputSpec describes the network input.
+type InputSpec struct {
+	Channels int `json:"channels"`
+	Height   int `json:"height"`
+	Width    int `json:"width"`
+}
+
+// NetworkSpec is the top-level configuration document.
+type NetworkSpec struct {
+	Name   string      `json:"name"`
+	Batch  int         `json:"batch"`
+	Input  InputSpec   `json:"input"`
+	Layers []LayerSpec `json:"layers"`
+}
+
+// Parse decodes a JSON network specification.
+func Parse(data []byte) (*NetworkSpec, error) {
+	var spec NetworkSpec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("netconfig: %w", err)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// Marshal encodes the specification as indented JSON.
+func (s *NetworkSpec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate checks the structural fields that do not require shape inference.
+func (s *NetworkSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("netconfig: the network needs a name")
+	}
+	if s.Batch <= 0 {
+		return fmt.Errorf("netconfig: %s: batch must be positive", s.Name)
+	}
+	if s.Input.Channels <= 0 || s.Input.Height <= 0 || s.Input.Width <= 0 {
+		return fmt.Errorf("netconfig: %s: input dimensions must be positive", s.Name)
+	}
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("netconfig: %s: no layers", s.Name)
+	}
+	for i, l := range s.Layers {
+		if l.Name == "" {
+			return fmt.Errorf("netconfig: %s: layer %d has no name", s.Name, i)
+		}
+		switch strings.ToLower(l.Type) {
+		case "conv", "pool", "relu", "lrn", "fc", "softmax":
+		default:
+			return fmt.Errorf("netconfig: %s: layer %q has unknown type %q", s.Name, l.Name, l.Type)
+		}
+		if l.Layout != "" && !strings.EqualFold(l.Layout, "auto") {
+			if _, err := tensor.ParseLayout(l.Layout); err != nil {
+				return fmt.Errorf("netconfig: %s: layer %q: %w", s.Name, l.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Build materialises the specification into a network.  Layer shapes are
+// inferred by chaining, exactly like the framework configuration files the
+// paper modifies.
+func (s *NetworkSpec) Build() (*network.Network, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	shape := tensor.Shape{N: s.Batch, C: s.Input.Channels, H: s.Input.Height, W: s.Input.Width}
+	var ls []layers.Layer
+	seed := uint64(1)
+	for _, spec := range s.Layers {
+		switch strings.ToLower(spec.Type) {
+		case "conv":
+			stride := spec.Stride
+			if stride == 0 {
+				stride = 1
+			}
+			cfg := kernels.ConvConfig{
+				N: s.Batch, C: shape.C, H: shape.H, W: shape.W,
+				K: spec.Filters, FH: spec.Kernel, FW: spec.Kernel,
+				StrideH: stride, StrideW: stride, PadH: spec.Pad, PadW: spec.Pad,
+			}
+			l, err := layers.NewConv(spec.Name, cfg, seed)
+			if err != nil {
+				return nil, fmt.Errorf("netconfig: %s: %w", spec.Name, err)
+			}
+			seed++
+			ls = append(ls, l)
+			shape = l.OutputShape()
+		case "pool":
+			stride := spec.PoolStr
+			if stride == 0 {
+				stride = spec.Window
+			}
+			op := kernels.MaxPool
+			if strings.EqualFold(spec.PoolOp, "avg") {
+				op = kernels.AvgPool
+			}
+			cfg := kernels.PoolConfig{
+				N: s.Batch, C: shape.C, H: shape.H, W: shape.W,
+				Window: spec.Window, Stride: stride, Op: op,
+			}
+			l, err := layers.NewPool(spec.Name, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("netconfig: %s: %w", spec.Name, err)
+			}
+			ls = append(ls, l)
+			shape = l.OutputShape()
+		case "relu":
+			l, err := layers.NewReLU(spec.Name, shape)
+			if err != nil {
+				return nil, fmt.Errorf("netconfig: %s: %w", spec.Name, err)
+			}
+			ls = append(ls, l)
+		case "lrn":
+			size := spec.LocalSize
+			if size == 0 {
+				size = 5
+			}
+			l, err := layers.NewLRN(spec.Name, shape, size, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("netconfig: %s: %w", spec.Name, err)
+			}
+			ls = append(ls, l)
+		case "fc":
+			in := shape.C * shape.H * shape.W
+			l, err := layers.NewFullyConnected(spec.Name, s.Batch, in, spec.Outputs, seed)
+			if err != nil {
+				return nil, fmt.Errorf("netconfig: %s: %w", spec.Name, err)
+			}
+			seed++
+			ls = append(ls, l)
+			shape = l.OutputShape()
+		case "softmax":
+			classes := spec.Classes
+			if classes == 0 {
+				classes = shape.C * shape.H * shape.W
+			}
+			if classes != shape.C*shape.H*shape.W {
+				return nil, fmt.Errorf("netconfig: %s: softmax over %d classes fed with %d features", spec.Name, classes, shape.C*shape.H*shape.W)
+			}
+			l, err := layers.NewSoftmax(spec.Name, kernels.SoftmaxConfig{N: s.Batch, Classes: classes})
+			if err != nil {
+				return nil, fmt.Errorf("netconfig: %s: %w", spec.Name, err)
+			}
+			ls = append(ls, l)
+			shape = l.OutputShape()
+		}
+	}
+	return network.New(s.Name, s.Batch, ls...)
+}
+
+// LayoutOverrides returns the explicit per-layer layout choices of the
+// specification (layers with an empty or "auto" layout are omitted).
+func (s *NetworkSpec) LayoutOverrides() (map[string]tensor.Layout, error) {
+	out := make(map[string]tensor.Layout)
+	for _, l := range s.Layers {
+		if l.Layout == "" || strings.EqualFold(l.Layout, "auto") {
+			continue
+		}
+		lay, err := tensor.ParseLayout(l.Layout)
+		if err != nil {
+			return nil, fmt.Errorf("netconfig: layer %q: %w", l.Name, err)
+		}
+		out[l.Name] = lay
+	}
+	return out, nil
+}
+
+// Annotate fills the per-layer layout fields of the specification from an
+// execution plan (the step the paper performs after scanning the network with
+// its heuristic).  Layers missing from the plan are left untouched.
+func (s *NetworkSpec) Annotate(plan *network.ExecutionPlan) {
+	chosen := make(map[string]string, len(plan.Layers))
+	for _, pl := range plan.Layers {
+		chosen[pl.Layer.Name()] = pl.Layout.String()
+	}
+	for i := range s.Layers {
+		if lay, ok := chosen[s.Layers[i].Name]; ok {
+			s.Layers[i].Layout = lay
+		}
+	}
+}

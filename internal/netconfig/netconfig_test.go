@@ -1,0 +1,190 @@
+package netconfig
+
+import (
+	"strings"
+	"testing"
+
+	"memcnn/internal/core"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layout"
+	"memcnn/internal/tensor"
+)
+
+// lenetJSON is a LeNet-style configuration matching workloads.LeNet.
+const lenetJSON = `{
+  "name": "LeNet",
+  "batch": 128,
+  "input": {"channels": 1, "height": 28, "width": 28},
+  "layers": [
+    {"name": "conv1", "type": "conv", "filters": 16, "kernel": 5, "pad": 2},
+    {"name": "pool1", "type": "pool", "window": 2, "pool_stride": 2},
+    {"name": "conv2", "type": "conv", "filters": 16, "kernel": 5, "pad": 2, "layout": "CHWN"},
+    {"name": "pool2", "type": "pool", "window": 2, "pool_stride": 2},
+    {"name": "fc1", "type": "fc", "outputs": 100},
+    {"name": "relu1", "type": "relu"},
+    {"name": "fc2", "type": "fc", "outputs": 10},
+    {"name": "prob", "type": "softmax", "classes": 10}
+  ]
+}`
+
+func TestParseAndBuildLeNet(t *testing.T) {
+	spec, err := Parse([]byte(lenetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "LeNet" || spec.Batch != 128 || len(spec.Layers) != 8 {
+		t.Fatalf("unexpected spec: %+v", spec)
+	}
+	net, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.InputShape() != (tensor.Shape{N: 128, C: 1, H: 28, W: 28}) {
+		t.Errorf("input shape %v", net.InputShape())
+	}
+	if net.OutputShape() != (tensor.Shape{N: 128, C: 10, H: 1, W: 1}) {
+		t.Errorf("output shape %v", net.OutputShape())
+	}
+	if len(net.Layers) != 8 {
+		t.Errorf("built %d layers, want 8", len(net.Layers))
+	}
+}
+
+func TestLayoutOverrides(t *testing.T) {
+	spec, err := Parse([]byte(lenetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overrides, err := spec.LayoutOverrides()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overrides) != 1 || overrides["conv2"] != tensor.CHWN {
+		t.Errorf("overrides = %v, want conv2 -> CHWN", overrides)
+	}
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	cases := map[string]string{
+		"invalid json":   `{"name": "x"`,
+		"unknown field":  `{"name":"x","batch":1,"input":{"channels":1,"height":4,"width":4},"layers":[{"name":"a","type":"relu","bogus":1}]}`,
+		"missing name":   `{"batch":1,"input":{"channels":1,"height":4,"width":4},"layers":[{"name":"a","type":"relu"}]}`,
+		"bad batch":      `{"name":"x","batch":0,"input":{"channels":1,"height":4,"width":4},"layers":[{"name":"a","type":"relu"}]}`,
+		"bad input":      `{"name":"x","batch":1,"input":{"channels":0,"height":4,"width":4},"layers":[{"name":"a","type":"relu"}]}`,
+		"no layers":      `{"name":"x","batch":1,"input":{"channels":1,"height":4,"width":4},"layers":[]}`,
+		"unnamed layer":  `{"name":"x","batch":1,"input":{"channels":1,"height":4,"width":4},"layers":[{"type":"relu"}]}`,
+		"unknown type":   `{"name":"x","batch":1,"input":{"channels":1,"height":4,"width":4},"layers":[{"name":"a","type":"warp"}]}`,
+		"unknown layout": `{"name":"x","batch":1,"input":{"channels":1,"height":4,"width":4},"layers":[{"name":"a","type":"relu","layout":"WXYZ"}]}`,
+	}
+	for label, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: expected parse error", label)
+		}
+	}
+}
+
+func TestBuildRejectsInconsistentShapes(t *testing.T) {
+	doc := `{
+  "name": "broken", "batch": 4,
+  "input": {"channels": 1, "height": 8, "width": 8},
+  "layers": [
+    {"name": "conv1", "type": "conv", "filters": 4, "kernel": 3},
+    {"name": "prob", "type": "softmax", "classes": 10}
+  ]}`
+	spec, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(); err == nil {
+		t.Error("softmax class mismatch must be rejected at build time")
+	}
+	oversized := `{
+  "name": "broken", "batch": 4,
+  "input": {"channels": 1, "height": 4, "width": 4},
+  "layers": [
+    {"name": "conv1", "type": "conv", "filters": 4, "kernel": 9}
+  ]}`
+	spec, err = Parse([]byte(oversized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Build(); err == nil {
+		t.Error("filter larger than input must be rejected at build time")
+	}
+}
+
+func TestAnnotateAndRoundTrip(t *testing.T) {
+	spec, err := Parse([]byte(lenetJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimizer := core.NewOptimizer(core.Options{Thresholds: layout.TitanBlackThresholds()})
+	plan, err := optimizer.Plan(gpusim.TitanBlack(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Annotate(plan)
+	for _, l := range spec.Layers {
+		if l.Type == "conv" || l.Type == "pool" {
+			if l.Layout == "" {
+				t.Errorf("layer %q has no layout after annotation", l.Name)
+			}
+		}
+	}
+	// Round trip through JSON must preserve the annotation.
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"layout\"") {
+		t.Error("marshalled spec should contain layout fields")
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overrides, err := back.LayoutOverrides()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overrides["conv1"] != tensor.CHWN {
+		t.Errorf("LeNet conv1 should be annotated CHWN, got %v", overrides["conv1"])
+	}
+	// The re-parsed spec must still build.
+	if _, err := back.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildAvgPoolingAndDefaults(t *testing.T) {
+	doc := `{
+  "name": "avgnet", "batch": 2,
+  "input": {"channels": 2, "height": 8, "width": 8},
+  "layers": [
+    {"name": "pool1", "type": "pool", "window": 2, "pool_op": "avg"},
+    {"name": "norm1", "type": "lrn"},
+    {"name": "fc1", "type": "fc", "outputs": 4},
+    {"name": "prob", "type": "softmax"}
+  ]}`
+	spec, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool stride defaults to the window, softmax classes default to the
+	// incoming feature count.
+	if net.OutputShape() != (tensor.Shape{N: 2, C: 4, H: 1, W: 1}) {
+		t.Errorf("output shape %v", net.OutputShape())
+	}
+	in := tensor.Random(net.InputShape(), tensor.NCHW, 1)
+	if _, err := net.Forward(in); err != nil {
+		t.Fatalf("built network must run functionally: %v", err)
+	}
+}

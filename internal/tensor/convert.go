@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Convert returns a copy of t re-linearised under the target layout.  If the
+// target layout equals the tensor's current layout the result is still a
+// fresh copy, so callers may always mutate the result freely.
+//
+// This is the functional reference for the GPU layout-transformation kernels
+// modelled in internal/kernels; the kernel implementations are tested against
+// it.
+func Convert(t *Tensor, target Layout) *Tensor {
+	if !target.Valid() {
+		panic(fmt.Sprintf("tensor: invalid target layout %v", target))
+	}
+	out := New(t.Shape, target)
+	if target == t.Layout {
+		copy(out.Data, t.Data)
+		return out
+	}
+	convertParallel(t, out)
+	return out
+}
+
+// ConvertInto re-linearises t into dst, which must have the same shape.
+// It is the allocation-free variant of Convert.
+func ConvertInto(t, dst *Tensor) error {
+	if t.Shape != dst.Shape {
+		return fmt.Errorf("tensor: convert shape mismatch %v vs %v", t.Shape, dst.Shape)
+	}
+	if t.Layout == dst.Layout {
+		copy(dst.Data, t.Data)
+		return nil
+	}
+	convertParallel(t, dst)
+	return nil
+}
+
+// convertParallel walks the logical coordinate space in the destination
+// layout's linear order, splitting the outermost destination dimension across
+// goroutines.  Writing sequentially in the destination is the cache-friendly
+// direction on a CPU, mirroring the "coalesced writes" goal of the GPU
+// transpose kernel.
+func convertParallel(src, dst *Tensor) {
+	s := src.Shape
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s.Elems() {
+		workers = 1
+	}
+	// Partition by the slowest-varying destination dimension so each worker
+	// writes a contiguous region of dst.Data.
+	type rng struct{ lo, hi int }
+	var outer int
+	switch dst.Layout {
+	case NCHW, NHWC:
+		outer = s.N
+	case CHWN:
+		outer = s.C
+	case HWCN:
+		outer = s.H
+	}
+	if workers > outer {
+		workers = outer
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * outer / workers
+		hi := (wkr + 1) * outer / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(r rng) {
+			defer wg.Done()
+			convertRange(src, dst, r.lo, r.hi)
+		}(rng{lo, hi})
+	}
+	wg.Wait()
+}
+
+// convertRange converts the slice [lo,hi) of the destination's outermost
+// logical dimension.
+func convertRange(src, dst *Tensor, lo, hi int) {
+	s := src.Shape
+	sn, sc, sh, sw := s.Strides(src.Layout)
+	dn, dc, dh, dw := s.Strides(dst.Layout)
+	switch dst.Layout {
+	case NCHW, NHWC:
+		for n := lo; n < hi; n++ {
+			for c := 0; c < s.C; c++ {
+				for h := 0; h < s.H; h++ {
+					sBase := n*sn + c*sc + h*sh
+					dBase := n*dn + c*dc + h*dh
+					for w := 0; w < s.W; w++ {
+						dst.Data[dBase+w*dw] = src.Data[sBase+w*sw]
+					}
+				}
+			}
+		}
+	case CHWN:
+		for c := lo; c < hi; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					sBase := c*sc + h*sh + w*sw
+					dBase := c*dc + h*dh + w*dw
+					for n := 0; n < s.N; n++ {
+						dst.Data[dBase+n*dn] = src.Data[sBase+n*sn]
+					}
+				}
+			}
+		}
+	case HWCN:
+		for h := lo; h < hi; h++ {
+			for w := 0; w < s.W; w++ {
+				for c := 0; c < s.C; c++ {
+					sBase := h*sh + w*sw + c*sc
+					dBase := h*dh + w*dw + c*dc
+					for n := 0; n < s.N; n++ {
+						dst.Data[dBase+n*dn] = src.Data[sBase+n*sn]
+					}
+				}
+			}
+		}
+	}
+}
