@@ -14,6 +14,9 @@ import (
 	"memcnn/internal/bench"
 	"memcnn/internal/gpusim"
 	"memcnn/internal/layout"
+	memruntime "memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+	"memcnn/internal/workloads"
 )
 
 func device() *gpusim.Device        { return gpusim.TitanBlack() }
@@ -297,6 +300,50 @@ func BenchmarkHeuristicAccuracy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(agree, "agreements_of_12")
+}
+
+// BenchmarkInference compares the naive Network.Forward against the planned
+// executor of internal/runtime on the same network and input: same values,
+// different memory discipline.  The imgs/sec metrics track the functional
+// throughput; allocs/op (run with -benchmem) shows the arena executor's
+// steady-state allocation behaviour against the naive per-layer allocations.
+func BenchmarkInference(b *testing.B) {
+	net, err := workloads.TinyNet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := tensor.Random(net.InputShape(), tensor.NCHW, 3)
+	batch := float64(net.Batch)
+
+	b.Run("Naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Forward(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "imgs/sec")
+	})
+
+	b.Run("Planned", func(b *testing.B) {
+		prog, err := memruntime.CompileFixed(net, tensor.NCHW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec := memruntime.NewExecutor(prog)
+		out := tensor.New(prog.OutputShape(), tensor.NCHW)
+		if err := exec.RunInto(in, out); err != nil { // warm the arena pool
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := exec.RunInto(in, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "imgs/sec")
+	})
 }
 
 // pow computes the geometric-mean root used by several benchmarks.

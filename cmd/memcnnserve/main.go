@@ -1,0 +1,250 @@
+// Command memcnnserve serves batched CNN inference over HTTP with the
+// planned-execution engine: the network is planned (paper optimiser or a
+// fixed layout), compiled to an op list, packed into a static memory arena,
+// and fronted by the dynamic micro-batching server so concurrent single-image
+// requests coalesce into planned batched executions.
+//
+// Usage:
+//
+//	memcnnserve -network LeNet -addr :8080
+//	memcnnserve -network TinyNet -demo 256      # self-driving load test
+//
+// Endpoints:
+//
+//	POST /infer   {"image":[C*H*W floats]} -> {"output":[...], "argmax":k}
+//	GET  /stats   batching counters
+//	GET  /plan    compiled program and memory-plan summary
+//	GET  /healthz liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"memcnn/internal/frameworks"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layout"
+	"memcnn/internal/network"
+	memruntime "memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+	"memcnn/internal/workloads"
+)
+
+func main() {
+	var (
+		networkName = flag.String("network", "LeNet", "network to serve: TinyNet, LeNet, Cifar10, AlexNet, ZFNet or VGG")
+		policy      = flag.String("policy", "opt", "execution policy: 'opt' (paper optimiser), 'nchw' or 'chwn'")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		maxBatch    = flag.Int("batch", 0, "max requests per planned execution (default: the network batch)")
+		maxDelay    = flag.Duration("delay", 2*time.Millisecond, "max time a request waits for its batch to fill")
+		workers     = flag.Int("workers", 2, "concurrent batch executors")
+		demo        = flag.Int("demo", 0, "instead of listening, fire N synthetic concurrent requests and exit")
+	)
+	flag.Parse()
+
+	net, err := buildNetwork(*networkName)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := compile(net, *policy)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: %d layers -> %d ops over %d buffers (%s policy)\n",
+		net.Name, len(net.Layers), len(prog.Ops), len(prog.Buffers), prog.PlannerName)
+	fmt.Printf("memory plan: peak %.2f MiB vs naive %.2f MiB (%.0f%% saved)\n",
+		mib(prog.Mem.PeakBytes()), mib(prog.NaiveBytes()), 100*prog.Savings())
+
+	srv, err := memruntime.NewServer(prog, memruntime.ServerConfig{
+		MaxBatch: *maxBatch,
+		MaxDelay: *maxDelay,
+		Workers:  *workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer srv.Close()
+
+	if *demo > 0 {
+		runDemo(srv, prog, *demo)
+		return
+	}
+
+	http.HandleFunc("/infer", inferHandler(srv, prog))
+	http.HandleFunc("/stats", statsHandler(srv))
+	http.HandleFunc("/plan", planHandler(prog))
+	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	fmt.Printf("listening on %s (batch<=%d, delay %v, %d workers)\n",
+		*addr, srv.Config().MaxBatch, srv.Config().MaxDelay, srv.Config().Workers)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fail(err)
+	}
+}
+
+func buildNetwork(name string) (*network.Network, error) {
+	if strings.EqualFold(name, "TinyNet") {
+		return workloads.TinyNet()
+	}
+	nets, err := workloads.Networks()
+	if err != nil {
+		return nil, err
+	}
+	for n, net := range nets {
+		if strings.EqualFold(n, name) {
+			return net, nil
+		}
+	}
+	return nil, fmt.Errorf("memcnnserve: unknown network %q", name)
+}
+
+func compile(net *network.Network, policy string) (*memruntime.Program, error) {
+	switch strings.ToLower(policy) {
+	case "opt":
+		plan, err := frameworks.Optimized(layout.TitanBlackThresholds()).Plan(gpusim.TitanBlack(), net)
+		if err != nil {
+			return nil, err
+		}
+		return memruntime.Compile(plan)
+	case "nchw":
+		return memruntime.CompileFixed(net, tensor.NCHW)
+	case "chwn":
+		return memruntime.CompileFixed(net, tensor.CHWN)
+	default:
+		return nil, fmt.Errorf("memcnnserve: unknown policy %q", policy)
+	}
+}
+
+// runDemo fires n synthetic requests with bounded concurrency and reports
+// the throughput the batching front-end achieved.
+func runDemo(srv *memruntime.BatchServer, prog *memruntime.Program, n int) {
+	in := prog.InputShape()
+	imgShape := tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}
+	images := make([]*tensor.Tensor, 8)
+	for i := range images {
+		images[i] = tensor.Random(imgShape, tensor.NCHW, uint64(i+1))
+	}
+	sem := make(chan struct{}, 4*srv.Config().MaxBatch)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed int
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := srv.Infer(context.Background(), images[i%len(images)]); err != nil {
+				mu.Lock()
+				failed++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := srv.Stats()
+	fmt.Printf("demo: %d requests in %v (%.1f imgs/sec), %d failed\n",
+		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds(), failed)
+	fmt.Printf("batching: %d executions, avg batch %.2f, largest %d\n",
+		st.Batches, st.AvgBatch, st.LargestBatch)
+}
+
+type inferRequest struct {
+	Image []float32 `json:"image"`
+}
+
+type inferResponse struct {
+	Output []float32 `json:"output"`
+	Argmax int       `json:"argmax"`
+}
+
+func inferHandler(srv *memruntime.BatchServer, prog *memruntime.Program) http.HandlerFunc {
+	in := prog.InputShape()
+	imgShape := tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req inferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		img, err := tensor.NewFrom(imgShape, tensor.NCHW, req.Image)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out, err := srv.Infer(r.Context(), img)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		resp := inferResponse{Output: out.Data, Argmax: 0}
+		for i, v := range out.Data {
+			if v > out.Data[resp.Argmax] {
+				resp.Argmax = i
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	}
+}
+
+func statsHandler(srv *memruntime.BatchServer) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(srv.Stats())
+	}
+}
+
+func planHandler(prog *memruntime.Program) http.HandlerFunc {
+	type planSummary struct {
+		Network    string  `json:"network"`
+		Planner    string  `json:"planner"`
+		Ops        int     `json:"ops"`
+		Buffers    int     `json:"buffers"`
+		Transforms int     `json:"transforms"`
+		PeakBytes  int64   `json:"peak_bytes"`
+		NaiveBytes int64   `json:"naive_bytes"`
+		Savings    float64 `json:"savings"`
+	}
+	transforms := 0
+	for _, op := range prog.Ops {
+		if op.Kind == memruntime.OpTransform {
+			transforms++
+		}
+	}
+	summary := planSummary{
+		Network:    prog.Net.Name,
+		Planner:    prog.PlannerName,
+		Ops:        len(prog.Ops),
+		Buffers:    len(prog.Buffers),
+		Transforms: transforms,
+		PeakBytes:  prog.Mem.PeakBytes(),
+		NaiveBytes: prog.NaiveBytes(),
+		Savings:    prog.Savings(),
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(summary)
+	}
+}
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

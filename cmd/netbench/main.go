@@ -2,11 +2,19 @@
 // and, optionally, the per-layer breakdown of a single network under every
 // library policy (the Fig. 15 view for AlexNet).
 //
+// The -runtime flag switches to the planned-execution view: every network is
+// compiled through internal/runtime and its static memory plan is reported
+// (arena peak vs. the naive all-buffers-live footprint); -exec additionally
+// executes the compiled programs functionally on the CPU and compares their
+// throughput against the naive Network.Forward.
+//
 // Usage:
 //
 //	netbench                         # Fig. 14 on the Titan Black model
 //	netbench -network AlexNet -detail
 //	netbench -device titanx -thresholds calibrated
+//	netbench -runtime                # memory plans for every network
+//	netbench -runtime -exec          # plus measured throughput (small nets)
 package main
 
 import (
@@ -14,11 +22,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"memcnn/internal/bench"
 	"memcnn/internal/frameworks"
 	"memcnn/internal/gpusim"
 	"memcnn/internal/layout"
+	"memcnn/internal/network"
+	memruntime "memcnn/internal/runtime"
+	"memcnn/internal/tensor"
 	"memcnn/internal/workloads"
 )
 
@@ -28,6 +40,8 @@ func main() {
 		deviceName  = flag.String("device", "titanblack", "GPU model: titanblack or titanx")
 		thresholds  = flag.String("thresholds", "paper", "layout thresholds: 'paper' or 'calibrated'")
 		detail      = flag.Bool("detail", false, "print the per-layer breakdown for each planner")
+		runtimeView = flag.Bool("runtime", false, "compile each network with internal/runtime and report its static memory plan")
+		execute     = flag.Bool("exec", false, "with -runtime: execute the compiled programs and measure imgs/sec (small networks only unless -network selects one)")
 	)
 	flag.Parse()
 
@@ -43,6 +57,14 @@ func main() {
 		th = layout.Calibrate(dev)
 	}
 	fmt.Printf("device: %s\nlayout thresholds: %v\n\n", dev.Name, th)
+
+	if *runtimeView {
+		if err := runtimeReport(dev, th, *networkName, *execute); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if strings.EqualFold(*networkName, "all") {
 		_, table, err := bench.Figure14(dev, th)
@@ -99,4 +121,76 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runtimeReport compiles every selected network through the planned-execution
+// engine and prints its op count and static memory plan; with exec it also
+// measures functional throughput against the naive Network.Forward.  By
+// default execution covers only the sub-second networks (LeNet, Cifar10);
+// selecting a single network with -network overrides that guard.
+func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool) error {
+	nets, err := workloads.Networks()
+	if err != nil {
+		return err
+	}
+	targets := workloads.NetworkOrder
+	if !strings.EqualFold(networkName, "all") {
+		net, ok := nets[networkName]
+		if !ok {
+			return fmt.Errorf("netbench: unknown network %q", networkName)
+		}
+		targets = []string{net.Name}
+	}
+	planner := frameworks.Optimized(th)
+	cheap := map[string]bool{"LeNet": true, "Cifar10": true}
+
+	fmt.Printf("%-8s %9s %8s %12s %12s %7s\n", "network", "ops", "buffers", "peak", "naive", "saved")
+	for _, name := range targets {
+		net := nets[name]
+		plan, err := planner.Plan(dev, net)
+		if err != nil {
+			return fmt.Errorf("netbench: planning %s: %w", name, err)
+		}
+		prog, err := memruntime.Compile(plan)
+		if err != nil {
+			return fmt.Errorf("netbench: compiling %s: %w", name, err)
+		}
+		fmt.Printf("%-8s %9d %8d %9.2f MiB %9.2f MiB %6.0f%%\n",
+			name, len(prog.Ops), len(prog.Buffers),
+			float64(prog.Mem.PeakBytes())/(1<<20), float64(prog.NaiveBytes())/(1<<20),
+			100*prog.Savings())
+		if exec && (cheap[name] || len(targets) == 1) {
+			if err := timeExecution(net, prog); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// timeExecution runs the naive forward and the compiled program once each and
+// reports their functional throughput.
+func timeExecution(net *network.Network, prog *memruntime.Program) error {
+	in := tensor.Random(net.InputShape(), tensor.NCHW, 1)
+	start := time.Now()
+	if _, err := net.Forward(in); err != nil {
+		return fmt.Errorf("netbench: %s naive forward: %w", net.Name, err)
+	}
+	naive := time.Since(start)
+
+	executor := memruntime.NewExecutor(prog)
+	out := tensor.New(prog.OutputShape(), tensor.NCHW)
+	if err := executor.RunInto(in, out); err != nil { // warm the arena pool
+		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
+	}
+	start = time.Now()
+	if err := executor.RunInto(in, out); err != nil {
+		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
+	}
+	planned := time.Since(start)
+
+	batch := float64(net.Batch)
+	fmt.Printf("         naive %8.1f imgs/sec | planned %8.1f imgs/sec (%.2fx)\n",
+		batch/naive.Seconds(), batch/planned.Seconds(), naive.Seconds()/planned.Seconds())
+	return nil
 }

@@ -9,6 +9,16 @@
 // fused, inner-loop-parallel softmax, integrated into a network planner that
 // is compared against emulations of cuda-convnet, Caffe and the cuDNN modes.
 //
+// Beyond estimating plans, internal/runtime carries them out: a planned
+// network is compiled into an op list with explicit buffer IDs (layer ops,
+// layout-transform ops, zero-copy reshape views), the buffers are packed into
+// a single arena by a liveness-driven static memory plan, and the compiled
+// program runs on recycled arena instances with no steady-state tensor
+// allocation.  A dynamic micro-batching server coalesces concurrent
+// single-image requests into planned batched executions; cmd/memcnnserve
+// serves it over HTTP and `netbench -runtime` reports every network's arena
+// footprint against the naive all-buffers-live total.
+//
 // The public entry points live under internal/ because the module is a
 // self-contained reproduction rather than an importable SDK; the cmd/ tools
 // and examples/ programs show every supported workflow, and bench_test.go

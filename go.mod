@@ -1,0 +1,3 @@
+module memcnn
+
+go 1.21

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"memcnn/internal/gpusim"
 	"memcnn/internal/tensor"
@@ -26,31 +27,49 @@ func ConvDirect(in, filters *tensor.Tensor, cfg ConvConfig, outLayout tensor.Lay
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	out := tensor.New(cfg.OutputShape(), outLayout)
+	if err := ConvDirectInto(in, filters, out, cfg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ConvDirectInto is the allocation-free variant of ConvDirect: it writes into
+// a caller-provided output tensor of the config's output shape (any layout).
+// Every output element is overwritten, so the destination's prior contents do
+// not matter.
+func ConvDirectInto(in, filters, out *tensor.Tensor, cfg ConvConfig) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if in.Shape != cfg.InputShape() {
-		return nil, fmt.Errorf("kernels: conv input shape %v does not match config %v", in.Shape, cfg.InputShape())
+		return fmt.Errorf("kernels: conv input shape %v does not match config %v", in.Shape, cfg.InputShape())
 	}
 	if filters.Shape != cfg.FilterShape() {
-		return nil, fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
+		return fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
 	}
-	out := tensor.New(cfg.OutputShape(), outLayout)
+	if out.Shape != cfg.OutputShape() {
+		return fmt.Errorf("kernels: conv output shape %v does not match config %v", out.Shape, cfg.OutputShape())
+	}
 	outH, outW := cfg.OutH(), cfg.OutW()
 
-	type job struct{ n, k int }
-	jobs := make(chan job, cfg.N*cfg.K)
-	for n := 0; n < cfg.N; n++ {
-		for k := 0; k < cfg.K; k++ {
-			jobs <- job{n, k}
-		}
-	}
-	close(jobs)
-
+	// Work is distributed by an atomic (n,k) plane counter rather than a job
+	// channel so the hot path performs no allocation.
+	var next atomic.Int64
+	planes := int64(cfg.N * cfg.K)
 	workers := runtime.GOMAXPROCS(0)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			for {
+				p := next.Add(1) - 1
+				if p >= planes {
+					return
+				}
+				n, k := int(p)/cfg.K, int(p)%cfg.K
 				for oh := 0; oh < outH; oh++ {
 					for ow := 0; ow < outW; ow++ {
 						var acc float64
@@ -65,18 +84,18 @@ func ConvDirect(in, filters *tensor.Tensor, cfg ConvConfig, outLayout tensor.Lay
 									if iw < 0 || iw >= cfg.W {
 										continue
 									}
-									acc += float64(in.At(j.n, c, ih, iw)) * float64(filters.At(j.k, c, fh, fw))
+									acc += float64(in.At(n, c, ih, iw)) * float64(filters.At(k, c, fh, fw))
 								}
 							}
 						}
-						out.Set(j.n, j.k, oh, ow, float32(acc))
+						out.Set(n, k, oh, ow, float32(acc))
 					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }
 
 // Blocking parameters of the modelled cuda-convnet direct-convolution kernel.

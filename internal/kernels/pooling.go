@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"memcnn/internal/gpusim"
 	"memcnn/internal/tensor"
@@ -22,36 +23,54 @@ func Pool(in *tensor.Tensor, cfg PoolConfig) (*tensor.Tensor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if in.Shape != cfg.InputShape() {
-		return nil, fmt.Errorf("kernels: pool input shape %v does not match config %v", in.Shape, cfg.InputShape())
-	}
 	out := tensor.New(cfg.OutputShape(), in.Layout)
+	if err := PoolInto(in, out, cfg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PoolInto is the allocation-free variant of Pool: it writes into a
+// caller-provided output tensor of the config's output shape (any layout).
+// Every output element is overwritten, so the destination's prior contents do
+// not matter.
+func PoolInto(in, out *tensor.Tensor, cfg PoolConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if in.Shape != cfg.InputShape() {
+		return fmt.Errorf("kernels: pool input shape %v does not match config %v", in.Shape, cfg.InputShape())
+	}
+	if out.Shape != cfg.OutputShape() {
+		return fmt.Errorf("kernels: pool output shape %v does not match config %v", out.Shape, cfg.OutputShape())
+	}
 	outH, outW := cfg.OutH(), cfg.OutW()
 
-	type job struct{ n, c int }
-	jobs := make(chan job, cfg.N*cfg.C)
-	for n := 0; n < cfg.N; n++ {
-		for c := 0; c < cfg.C; c++ {
-			jobs <- job{n, c}
-		}
-	}
-	close(jobs)
+	// Work is distributed by an atomic (n,c) plane counter rather than a job
+	// channel so the hot path performs no allocation.
+	var next atomic.Int64
+	planes := int64(cfg.N * cfg.C)
 	var wg sync.WaitGroup
 	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
+			for {
+				p := next.Add(1) - 1
+				if p >= planes {
+					return
+				}
+				n, c := int(p)/cfg.C, int(p)%cfg.C
 				for oh := 0; oh < outH; oh++ {
 					for ow := 0; ow < outW; ow++ {
-						out.Set(j.n, j.c, oh, ow, poolWindow(in, cfg, j.n, j.c, oh, ow))
+						out.Set(n, c, oh, ow, poolWindow(in, cfg, n, c, oh, ow))
 					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }
 
 func poolWindow(in *tensor.Tensor, cfg PoolConfig, n, c, oh, ow int) float32 {

@@ -52,8 +52,20 @@ func (s *Softmax) Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]g
 
 // Forward implements Layer.
 func (s *Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(s.OutputShape(), in.Layout)
+	if err := s.ForwardInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForwardInto implements IntoForwarder.
+func (s *Softmax) ForwardInto(in, dst *tensor.Tensor) error {
 	if in.Shape != s.InputShape() {
-		return nil, fmt.Errorf("layers: %s: input shape %v, want %v", s.LayerName, in.Shape, s.InputShape())
+		return fmt.Errorf("layers: %s: input shape %v, want %v", s.LayerName, in.Shape, s.InputShape())
+	}
+	if dst.Shape != s.OutputShape() {
+		return fmt.Errorf("layers: %s: output shape %v, want %v", s.LayerName, dst.Shape, s.OutputShape())
 	}
 	logits := make([]float32, s.Cfg.Elems())
 	for n := 0; n < s.Cfg.N; n++ {
@@ -63,15 +75,14 @@ func (s *Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	probs, err := kernels.Softmax(logits, s.Cfg)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := tensor.New(s.OutputShape(), in.Layout)
 	for n := 0; n < s.Cfg.N; n++ {
 		for c := 0; c < s.Cfg.Classes; c++ {
-			out.Set(n, c, 0, 0, probs[n*s.Cfg.Classes+c])
+			dst.Set(n, c, 0, 0, probs[n*s.Cfg.Classes+c])
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // FullyConnected is a dense layer computing Out = In × Wᵀ for a batch of
@@ -136,9 +147,21 @@ func (f *FullyConnected) Weights() []float32 {
 
 // Forward implements Layer.
 func (f *FullyConnected) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(f.OutputShape(), in.Layout)
+	if err := f.ForwardInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForwardInto implements IntoForwarder.
+func (f *FullyConnected) ForwardInto(in, dst *tensor.Tensor) error {
 	want := f.InputShape()
 	if in.Shape.Elems() != want.Elems() || in.Shape.N != f.Batch {
-		return nil, fmt.Errorf("layers: %s: input shape %v incompatible with %v", f.LayerName, in.Shape, want)
+		return fmt.Errorf("layers: %s: input shape %v incompatible with %v", f.LayerName, in.Shape, want)
+	}
+	if dst.Shape != f.OutputShape() {
+		return fmt.Errorf("layers: %s: output shape %v, want %v", f.LayerName, dst.Shape, f.OutputShape())
 	}
 	// Flatten each image's features in canonical (C,H,W) order.
 	flat := make([]float32, f.Batch*f.InDim)
@@ -153,9 +176,8 @@ func (f *FullyConnected) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 			}
 		}
 	}
-	// out[n][o] = sum_k W[o][k] * flat[n][k]; computed as W (Out×In) times
+	// dst[n][o] = sum_k W[o][k] * flat[n][k]; computed as W (Out×In) times
 	// flatᵀ (In×Batch) by iterating images.
-	out := tensor.New(f.OutputShape(), in.Layout)
 	w := f.Weights()
 	for n := 0; n < f.Batch; n++ {
 		row := flat[n*f.InDim : (n+1)*f.InDim]
@@ -165,10 +187,10 @@ func (f *FullyConnected) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 			for k, v := range row {
 				acc += float64(v) * float64(wRow[k])
 			}
-			out.Set(n, o, 0, 0, float32(acc))
+			dst.Set(n, o, 0, 0, float32(acc))
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // ReLU is the element-wise rectifier.  It is purely bandwidth bound and
@@ -217,16 +239,47 @@ func (r *ReLU) Cost(d *gpusim.Device, _ tensor.Layout, _ CostOptions) ([]gpusim.
 
 // Forward implements Layer.
 func (r *ReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	if in.Shape != r.Shape {
-		return nil, fmt.Errorf("layers: %s: input shape %v, want %v", r.LayerName, in.Shape, r.Shape)
-	}
-	out := in.Clone()
-	for i, v := range out.Data {
-		if v < 0 {
-			out.Data[i] = 0
-		}
+	out := tensor.New(r.Shape, in.Layout)
+	if err := r.ForwardInto(in, out); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// ForwardInto implements IntoForwarder.  The rectifier is element-wise, so
+// when input and output share a layout it is a single linear pass over the
+// backing slices.
+func (r *ReLU) ForwardInto(in, dst *tensor.Tensor) error {
+	if in.Shape != r.Shape {
+		return fmt.Errorf("layers: %s: input shape %v, want %v", r.LayerName, in.Shape, r.Shape)
+	}
+	if dst.Shape != r.Shape {
+		return fmt.Errorf("layers: %s: output shape %v, want %v", r.LayerName, dst.Shape, r.Shape)
+	}
+	if in.Layout == dst.Layout {
+		for i, v := range in.Data {
+			if v < 0 {
+				v = 0
+			}
+			dst.Data[i] = v
+		}
+		return nil
+	}
+	s := r.Shape
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					v := in.At(n, c, h, w)
+					if v < 0 {
+						v = 0
+					}
+					dst.Set(n, c, h, w, v)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // LRN is the local response normalisation layer used by AlexNet: each value
@@ -289,10 +342,23 @@ func (l *LRN) Cost(d *gpusim.Device, _ tensor.Layout, _ CostOptions) ([]gpusim.K
 
 // Forward implements Layer.
 func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
-	if in.Shape != l.Shape {
-		return nil, fmt.Errorf("layers: %s: input shape %v, want %v", l.LayerName, in.Shape, l.Shape)
-	}
 	out := tensor.New(l.Shape, in.Layout)
+	if err := l.ForwardInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForwardInto implements IntoForwarder.  The cross-channel window reads a
+// neighbourhood of the input for every output value, so dst must not alias
+// in.
+func (l *LRN) ForwardInto(in, dst *tensor.Tensor) error {
+	if in.Shape != l.Shape {
+		return fmt.Errorf("layers: %s: input shape %v, want %v", l.LayerName, in.Shape, l.Shape)
+	}
+	if dst.Shape != l.Shape {
+		return fmt.Errorf("layers: %s: output shape %v, want %v", l.LayerName, dst.Shape, l.Shape)
+	}
 	half := l.LocalSize / 2
 	for n := 0; n < l.Shape.N; n++ {
 		for c := 0; c < l.Shape.C; c++ {
@@ -311,12 +377,12 @@ func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 						sq += v * v
 					}
 					scale := math.Pow(1+l.Alpha/float64(l.LocalSize)*sq, -l.Beta)
-					out.Set(n, c, h, w, float32(float64(in.At(n, c, h, w))*scale))
+					dst.Set(n, c, h, w, float32(float64(in.At(n, c, h, w))*scale))
 				}
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func ceil(a, b int) int {

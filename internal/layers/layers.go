@@ -117,6 +117,16 @@ type Layer interface {
 	Forward(in *tensor.Tensor) (*tensor.Tensor, error)
 }
 
+// IntoForwarder is an optional extension of Layer implemented by layers that
+// can write their forward result into a caller-provided output tensor of the
+// layer's output shape.  The planned-execution engine (internal/runtime) uses
+// it to run layers without per-request heap allocation; layers that do not
+// implement it are executed through Forward followed by a copy into the
+// planned buffer.  The output tensor must not alias the input.
+type IntoForwarder interface {
+	ForwardInto(in, dst *tensor.Tensor) error
+}
+
 // Conv is a convolutional layer.
 type Conv struct {
 	LayerName string
@@ -215,6 +225,11 @@ func (c *Conv) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return kernels.ConvDirect(in, c.Filters(), c.Cfg, in.Layout)
 }
 
+// ForwardInto implements IntoForwarder.
+func (c *Conv) ForwardInto(in, dst *tensor.Tensor) error {
+	return kernels.ConvDirectInto(in, c.Filters(), dst, c.Cfg)
+}
+
 // Pool is a pooling layer.
 type Pool struct {
 	LayerName string
@@ -276,4 +291,9 @@ func (p *Pool) Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]gpus
 // Forward implements Layer.
 func (p *Pool) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return kernels.Pool(in, p.Cfg)
+}
+
+// ForwardInto implements IntoForwarder.
+func (p *Pool) ForwardInto(in, dst *tensor.Tensor) error {
+	return kernels.PoolInto(in, dst, p.Cfg)
 }

@@ -91,32 +91,17 @@ func (n *Network) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 
 // reshape reinterprets a tensor with a new logical shape holding the same
 // number of elements; values are carried over in canonical (N,C,H,W) order.
+// When the linearisation is unaffected by the relabelling (NCHW always, CHWN
+// at batch-preserving flattening boundaries) this is a single slice copy; the
+// general permuting path lives in tensor.ReshapeInto and remains the fallback
+// for the remaining layouts.
 func reshape(t *tensor.Tensor, shape tensor.Shape) (*tensor.Tensor, error) {
 	if t.Shape.Elems() != shape.Elems() {
 		return nil, fmt.Errorf("network: cannot reshape %v into %v", t.Shape, shape)
 	}
-	flat := make([]float32, 0, shape.Elems())
-	s := t.Shape
-	for n := 0; n < s.N; n++ {
-		for c := 0; c < s.C; c++ {
-			for h := 0; h < s.H; h++ {
-				for w := 0; w < s.W; w++ {
-					flat = append(flat, t.At(n, c, h, w))
-				}
-			}
-		}
-	}
 	out := tensor.New(shape, t.Layout)
-	i := 0
-	for n := 0; n < shape.N; n++ {
-		for c := 0; c < shape.C; c++ {
-			for h := 0; h < shape.H; h++ {
-				for w := 0; w < shape.W; w++ {
-					out.Set(n, c, h, w, flat[i])
-					i++
-				}
-			}
-		}
+	if err := tensor.ReshapeInto(t, out); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
 	}
 	return out, nil
 }

@@ -1,0 +1,26 @@
+// Package runtime executes networks under the memory discipline the paper
+// plans for: a network.ExecutionPlan is compiled into a flat program of ops
+// with explicit buffer IDs, the buffers are packed into a single arena by a
+// liveness-driven static memory plan, and the program is run by an executor
+// that performs no tensor allocation in steady state.
+//
+// The pipeline has three stages:
+//
+//	compile (graph.go)    — lower the layer stack into an op list: one op per
+//	                        layer, plus the plan's layout-transform ops and
+//	                        zero-copy reshape views at flattening boundaries.
+//	memory plan (memplan.go) — liveness analysis over buffer IDs followed by
+//	                        greedy best-fit offset assignment into one arena;
+//	                        the plan reports its peak footprint against the
+//	                        naive all-buffers-live total, making the paper's
+//	                        memory-efficiency story measurable.
+//	execute (executor.go, pool.go) — run the compiled program on arena-backed
+//	                        tensor views recycled through a sync.Pool, using
+//	                        layers.IntoForwarder where available and falling
+//	                        back to Forward plus a copy elsewhere.
+//
+// On top of the executor, server.go provides a dynamic micro-batching
+// front-end: many concurrent single-image requests coalesce into planned
+// batched executions (bounded by a maximum batch size and a maximum queueing
+// delay), which is how the planned engine serves traffic — see cmd/memcnnserve.
+package runtime

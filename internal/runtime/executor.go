@@ -1,0 +1,105 @@
+package runtime
+
+import (
+	"fmt"
+
+	"memcnn/internal/layers"
+	"memcnn/internal/tensor"
+)
+
+// Executor runs a compiled program.  It is safe for concurrent use: each run
+// borrows a private arena instance from the executor's pool.
+type Executor struct {
+	prog *Program
+	pool *Pool
+}
+
+// NewExecutor builds an executor (and its instance pool) for a program.
+func NewExecutor(p *Program) *Executor {
+	return &Executor{prog: p, pool: NewPool(p)}
+}
+
+// Program returns the compiled program the executor runs.
+func (e *Executor) Program() *Program { return e.prog }
+
+// Run executes the program on one input batch, returning a freshly allocated
+// output in the input's layout.  Use RunInto to avoid the output allocation.
+func (e *Executor) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(e.prog.OutputShape(), in.Layout)
+	if err := e.RunInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunInto executes the program on one input batch, writing the result into
+// dst (which must have the program's output shape; any layout).  The input is
+// staged into the arena — converting layout if needed — the ops run over
+// arena-backed views, and the final buffer is converted into dst.  No
+// activation tensors are allocated along the way; the remaining steady-state
+// allocations are the small flatten/logit scratch slices inside the
+// fully-connected and softmax ForwardInto implementations (see ROADMAP.md).
+func (e *Executor) RunInto(in, dst *tensor.Tensor) error {
+	if in.Shape != e.prog.InputShape() {
+		return fmt.Errorf("runtime: %s input shape %v, want %v", e.prog.Net.Name, in.Shape, e.prog.InputShape())
+	}
+	if dst.Shape != e.prog.OutputShape() {
+		return fmt.Errorf("runtime: %s output shape %v, want %v", e.prog.Net.Name, dst.Shape, e.prog.OutputShape())
+	}
+	inst := e.pool.Get()
+	defer e.pool.Put(inst)
+	return inst.run(in, dst)
+}
+
+// run executes the program over this instance's arena.
+func (inst *Instance) run(in, dst *tensor.Tensor) error {
+	if err := tensor.ConvertInto(in, inst.bufs[inst.prog.Input]); err != nil {
+		return fmt.Errorf("runtime: staging input: %w", err)
+	}
+	for _, op := range inst.prog.Ops {
+		src, out := inst.bufs[op.In], inst.bufs[op.Out]
+		switch op.Kind {
+		case OpTransform:
+			if err := tensor.ConvertInto(src, out); err != nil {
+				return fmt.Errorf("runtime: %s: %w", op.Name, err)
+			}
+		case OpReshape:
+			if inst.prog.Buffers[op.Out].AliasOf != NoBuffer {
+				// Zero-copy view: the output header already shares the input's
+				// storage and linearisation.
+				continue
+			}
+			if err := tensor.ReshapeInto(src, out); err != nil {
+				return fmt.Errorf("runtime: %s: %w", op.Name, err)
+			}
+		case OpLayer:
+			if err := runLayer(op, src, out); err != nil {
+				return fmt.Errorf("runtime: layer %q: %w", op.Name, err)
+			}
+		default:
+			return fmt.Errorf("runtime: unknown op kind %v", op.Kind)
+		}
+	}
+	if err := tensor.ConvertInto(inst.bufs[inst.prog.Output], dst); err != nil {
+		return fmt.Errorf("runtime: delivering output: %w", err)
+	}
+	return nil
+}
+
+// runLayer executes one layer op: directly into the planned buffer when the
+// layer supports IntoForwarder, otherwise through the layer's allocating
+// Forward followed by a copy into the arena.
+func runLayer(op Op, in, out *tensor.Tensor) error {
+	if fi, ok := op.Layer.(layers.IntoForwarder); ok {
+		return fi.ForwardInto(in, out)
+	}
+	res, err := op.Layer.Forward(in)
+	if err != nil {
+		return err
+	}
+	if res.Layout == out.Layout {
+		copy(out.Data, res.Data)
+		return nil
+	}
+	return tensor.ConvertInto(res, out)
+}

@@ -1,0 +1,192 @@
+package runtime
+
+import (
+	"fmt"
+
+	"memcnn/internal/layers"
+	"memcnn/internal/network"
+	"memcnn/internal/tensor"
+)
+
+// BufferID names one logical activation buffer of a compiled program.
+type BufferID int
+
+// NoBuffer marks the absence of a buffer reference (e.g. no alias).
+const NoBuffer BufferID = -1
+
+// Buffer describes one logical activation tensor of a program.
+type Buffer struct {
+	ID     BufferID
+	Shape  tensor.Shape
+	Layout tensor.Layout
+
+	// AliasOf, when not NoBuffer, marks the buffer as a zero-copy view of
+	// another buffer: a reshape whose relabelling does not move data (see
+	// tensor.CanReinterpret).  Aliases share their root's storage and are
+	// never assigned arena space of their own.
+	AliasOf BufferID
+}
+
+// Elems returns the buffer's element count.
+func (b Buffer) Elems() int { return b.Shape.Elems() }
+
+// Bytes returns the buffer's storage size in bytes (float32 elements).
+func (b Buffer) Bytes() int64 { return b.Shape.Bytes() }
+
+// OpKind discriminates the three op types of a compiled program.
+type OpKind int
+
+// The op kinds, in the order they can appear between two layers.
+const (
+	// OpTransform re-linearises a buffer into another layout
+	// (tensor.ConvertInto); it carries the plan's layout-transformation.
+	OpTransform OpKind = iota
+	// OpReshape relabels a buffer with a new logical shape at a flattening
+	// boundary.  When the output buffer aliases the input the op is free;
+	// otherwise the executor falls back to a canonical-order copy.
+	OpReshape
+	// OpLayer runs one network layer from its input buffer into its output
+	// buffer.
+	OpLayer
+)
+
+// String names the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpTransform:
+		return "transform"
+	case OpReshape:
+		return "reshape"
+	case OpLayer:
+		return "layer"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// Op is one step of a compiled program.
+type Op struct {
+	Kind OpKind
+	Name string
+	// Layer is set for OpLayer ops only.
+	Layer layers.Layer
+	In    BufferID
+	Out   BufferID
+}
+
+// Program is a network lowered to an executable op list over explicit
+// buffers, together with its static memory plan.
+type Program struct {
+	Net         *network.Network
+	PlannerName string
+	Buffers     []Buffer
+	Ops         []Op
+	Input       BufferID
+	Output      BufferID
+	Mem         *MemPlan
+}
+
+// InputShape returns the shape the program consumes.
+func (p *Program) InputShape() tensor.Shape { return p.Buffers[p.Input].Shape }
+
+// OutputShape returns the shape the program produces.
+func (p *Program) OutputShape() tensor.Shape { return p.Buffers[p.Output].Shape }
+
+// root resolves alias chains to the buffer that owns the storage.
+func (p *Program) root(id BufferID) BufferID {
+	for p.Buffers[id].AliasOf != NoBuffer {
+		id = p.Buffers[id].AliasOf
+	}
+	return id
+}
+
+// Compile lowers an execution plan into a program: each layer becomes an
+// OpLayer in its planned layout, a layout change between consecutive layers
+// becomes an OpTransform, and a logical shape change (conv/pool output
+// flattening into a fully-connected layer) becomes an OpReshape — a zero-copy
+// view whenever the layout permits.  The resulting program carries its static
+// memory plan (see PlanMemory).
+func Compile(plan *network.ExecutionPlan) (*Program, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("runtime: cannot compile a nil plan")
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	layouts := make([]tensor.Layout, len(plan.Layers))
+	for i, pl := range plan.Layers {
+		layouts[i] = pl.Layout
+	}
+	return lower(plan.Network, plan.PlannerName, layouts)
+}
+
+// CompileFixed lowers a network with every layer in one layout, the
+// single-layout policy of the library emulations.  It needs no device or
+// planner and is the baseline the planned programs are compared against.
+func CompileFixed(net *network.Network, layout tensor.Layout) (*Program, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return nil, fmt.Errorf("runtime: cannot compile an empty network")
+	}
+	layouts := make([]tensor.Layout, len(net.Layers))
+	for i, l := range net.Layers {
+		if !l.SupportsLayout(layout) {
+			return nil, fmt.Errorf("runtime: layer %q does not support layout %v", l.Name(), layout)
+		}
+		layouts[i] = layout
+	}
+	return lower(net, fmt.Sprintf("fixed-%v", layout), layouts)
+}
+
+// lower builds the op list for a network given the layout each layer runs in.
+func lower(net *network.Network, plannerName string, layouts []tensor.Layout) (*Program, error) {
+	p := &Program{Net: net, PlannerName: plannerName}
+	newBuf := func(shape tensor.Shape, layout tensor.Layout, alias BufferID) BufferID {
+		id := BufferID(len(p.Buffers))
+		p.Buffers = append(p.Buffers, Buffer{ID: id, Shape: shape, Layout: layout, AliasOf: alias})
+		return id
+	}
+	cur := newBuf(net.InputShape(), layouts[0], NoBuffer)
+	p.Input = cur
+
+	for i, l := range net.Layers {
+		lay := layouts[i]
+		if p.Buffers[cur].Layout != lay {
+			from := p.Buffers[cur].Layout
+			out := newBuf(p.Buffers[cur].Shape, lay, NoBuffer)
+			p.Ops = append(p.Ops, Op{
+				Kind: OpTransform,
+				Name: fmt.Sprintf("%v->%v before %s", from, lay, l.Name()),
+				In:   cur, Out: out,
+			})
+			cur = out
+		}
+		if in := l.InputShape(); p.Buffers[cur].Shape != in {
+			if p.Buffers[cur].Shape.Elems() != in.Elems() {
+				return nil, fmt.Errorf("runtime: layer %q input %v does not match incoming buffer %v",
+					l.Name(), in, p.Buffers[cur].Shape)
+			}
+			alias := NoBuffer
+			if tensor.CanReinterpret(p.Buffers[cur].Shape, in, lay) {
+				alias = p.root(cur)
+			}
+			out := newBuf(in, lay, alias)
+			p.Ops = append(p.Ops, Op{
+				Kind: OpReshape,
+				Name: fmt.Sprintf("%v->%v before %s", p.Buffers[cur].Shape, in, l.Name()),
+				In:   cur, Out: out,
+			})
+			cur = out
+		}
+		out := newBuf(l.OutputShape(), lay, NoBuffer)
+		p.Ops = append(p.Ops, Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out})
+		cur = out
+	}
+	p.Output = cur
+
+	mem, err := PlanMemory(p)
+	if err != nil {
+		return nil, err
+	}
+	p.Mem = mem
+	return p, nil
+}

@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is a buffer's live range in op indices: the buffer is written at
+// Def (Def = -1 for the program input, written by the caller before the first
+// op) and last read at LastUse (len(ops) for the program output, read by the
+// caller after the last op).  Two buffers conflict when their intervals
+// intersect.
+type Interval struct {
+	Def     int
+	LastUse int
+}
+
+// overlaps reports whether two live ranges intersect.
+func (a Interval) overlaps(b Interval) bool {
+	return a.Def <= b.LastUse && b.Def <= a.LastUse
+}
+
+// MemPlan assigns every buffer of a program an offset into one shared arena
+// such that no two simultaneously-live buffers overlap.  Alias buffers share
+// their root's storage; their live ranges are merged into the root's.
+type MemPlan struct {
+	// Offsets holds the arena offset (in float32 elements) of every buffer,
+	// indexed by BufferID.  An alias buffer has its root's offset.
+	Offsets []int
+	// Live holds the merged live range of every buffer's root, indexed by
+	// BufferID.
+	Live []Interval
+	// ArenaElems is the arena size, in float32 elements.
+	ArenaElems int
+}
+
+// PeakBytes is the arena footprint: the paper's "memory efficiency" quantity
+// at the whole-network scope.
+func (m *MemPlan) PeakBytes() int64 { return int64(m.ArenaElems) * 4 }
+
+// placed records one buffer already assigned arena space.
+type placed struct {
+	off, elems int
+	live       Interval
+}
+
+// PlanMemory computes buffer liveness over the program's op list and packs
+// the buffers into a single arena with greedy best-fit offset assignment:
+// buffers are placed in definition order, each into the free gap (among the
+// offsets left by conflicting, already-placed buffers) that wastes the least
+// space.
+func PlanMemory(p *Program) (*MemPlan, error) {
+	n := len(p.Buffers)
+	if n == 0 {
+		return nil, fmt.Errorf("runtime: program has no buffers")
+	}
+
+	// Liveness per root buffer.
+	def := make([]int, n)
+	last := make([]int, n)
+	for i := range def {
+		def[i] = len(p.Ops) + 1 // not yet defined
+		last[i] = -2            // never read
+	}
+	touch := func(id BufferID, op int, write bool) {
+		r := p.root(id)
+		if write {
+			if op < def[r] {
+				def[r] = op
+			}
+		}
+		if op > last[r] {
+			last[r] = op
+		}
+	}
+	touch(p.Input, -1, true)
+	for i, op := range p.Ops {
+		touch(op.In, i, false)
+		touch(op.Out, i, true)
+	}
+	touch(p.Output, len(p.Ops), false)
+
+	// Best-fit placement of root buffers in definition order.
+	roots := make([]BufferID, 0, n)
+	for id := range p.Buffers {
+		if p.Buffers[id].AliasOf == NoBuffer {
+			roots = append(roots, BufferID(id))
+		}
+	}
+	sort.SliceStable(roots, func(i, j int) bool { return def[roots[i]] < def[roots[j]] })
+
+	offsets := make([]int, n)
+	var placements []placed
+	arena := 0
+	for _, id := range roots {
+		b := p.Buffers[id]
+		if def[id] > len(p.Ops) || last[id] < -1 {
+			return nil, fmt.Errorf("runtime: buffer %d (%v) is dead in the program", id, b.Shape)
+		}
+		live := Interval{Def: def[id], LastUse: last[id]}
+		var conflicts []placed
+		for _, pl := range placements {
+			if pl.live.overlaps(live) {
+				conflicts = append(conflicts, pl)
+			}
+		}
+		off := bestFit(conflicts, b.Elems())
+		offsets[id] = off
+		placements = append(placements, placed{off: off, elems: b.Elems(), live: live})
+		if end := off + b.Elems(); end > arena {
+			arena = end
+		}
+	}
+	// Aliases inherit their root's offset.
+	liveOut := make([]Interval, n)
+	for id := range p.Buffers {
+		r := p.root(BufferID(id))
+		offsets[id] = offsets[r]
+		liveOut[id] = Interval{Def: def[r], LastUse: last[r]}
+	}
+
+	return &MemPlan{Offsets: offsets, Live: liveOut, ArenaElems: arena}, nil
+}
+
+// bestFit returns the offset for a buffer of the given size among conflicting
+// placements: of all gaps that fit it, the one leaving the least slack; when
+// only the open end of the arena fits, the lowest such offset.
+func bestFit(conflicts []placed, size int) int {
+	// candidate offsets: 0 and the end of every conflicting placement.
+	cands := []int{0}
+	for _, c := range conflicts {
+		cands = append(cands, c.off+c.elems)
+	}
+	sort.Ints(cands)
+	bestOff, bestSlack := -1, -1
+	for _, off := range cands {
+		// The gap above off runs to the lowest conflicting placement that
+		// starts at or after off; a conflict covering off disqualifies it.
+		gap := -1 // unbounded
+		ok := true
+		for _, c := range conflicts {
+			if c.off <= off && off < c.off+c.elems {
+				ok = false
+				break
+			}
+			if c.off >= off {
+				room := c.off - off
+				if gap == -1 || room < gap {
+					gap = room
+				}
+			}
+		}
+		if !ok || (gap != -1 && gap < size) {
+			continue
+		}
+		slack := -1
+		if gap != -1 {
+			slack = gap - size
+		}
+		switch {
+		case bestOff == -1:
+			bestOff, bestSlack = off, slack
+		case bestSlack == -1 && slack != -1:
+			// A bounded gap beats growing the arena end.
+			bestOff, bestSlack = off, slack
+		case slack != -1 && slack < bestSlack:
+			bestOff, bestSlack = off, slack
+		case slack == -1 && bestSlack == -1 && off < bestOff:
+			bestOff = off
+		}
+	}
+	return bestOff
+}
+
+// NaiveBytes returns the footprint of keeping every root buffer live for the
+// whole run — the sum the paper's memory optimisation is measured against.
+func (p *Program) NaiveBytes() int64 {
+	var total int64
+	for _, b := range p.Buffers {
+		if b.AliasOf == NoBuffer {
+			total += b.Bytes()
+		}
+	}
+	return total
+}
+
+// Savings returns how much of the naive footprint the arena eliminates, in
+// [0, 1).
+func (p *Program) Savings() float64 {
+	naive := p.NaiveBytes()
+	if naive == 0 {
+		return 0
+	}
+	return 1 - float64(p.Mem.PeakBytes())/float64(naive)
+}
+
+// Validate checks the memory plan's central invariant: no two root buffers
+// whose live ranges intersect overlap in the arena, and every buffer lies
+// inside the arena.
+func (m *MemPlan) Validate(p *Program) error {
+	for i := range p.Buffers {
+		bi := p.Buffers[i]
+		if m.Offsets[i] < 0 || m.Offsets[i]+bi.Elems() > m.ArenaElems {
+			return fmt.Errorf("runtime: buffer %d [%d,%d) outside arena of %d elems",
+				i, m.Offsets[i], m.Offsets[i]+bi.Elems(), m.ArenaElems)
+		}
+		if bi.AliasOf != NoBuffer {
+			if m.Offsets[i] != m.Offsets[p.root(BufferID(i))] {
+				return fmt.Errorf("runtime: alias buffer %d does not share its root's offset", i)
+			}
+			continue
+		}
+		for j := i + 1; j < len(p.Buffers); j++ {
+			bj := p.Buffers[j]
+			if bj.AliasOf != NoBuffer {
+				continue
+			}
+			if !m.Live[i].overlaps(m.Live[j]) {
+				continue
+			}
+			if m.Offsets[i] < m.Offsets[j]+bj.Elems() && m.Offsets[j] < m.Offsets[i]+bi.Elems() {
+				return fmt.Errorf("runtime: live buffers %d [%d,%d) and %d [%d,%d) overlap",
+					i, m.Offsets[i], m.Offsets[i]+bi.Elems(),
+					j, m.Offsets[j], m.Offsets[j]+bj.Elems())
+			}
+		}
+	}
+	return nil
+}
+
+// String summarises the plan.
+func (m *MemPlan) String() string {
+	return fmt.Sprintf("MemPlan{%d buffers, arena %d elems (%.2f MiB)}",
+		len(m.Offsets), m.ArenaElems, float64(m.PeakBytes())/(1<<20))
+}

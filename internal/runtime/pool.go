@@ -1,0 +1,75 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"memcnn/internal/tensor"
+)
+
+// Instance is one executable copy of a program: a single arena allocation
+// plus a tensor header per buffer viewing its arena slice.  Instances are
+// built once and recycled through a Pool, so steady-state inference performs
+// no tensor allocation.
+type Instance struct {
+	prog  *Program
+	arena []float32
+	bufs  []*tensor.Tensor
+}
+
+// newInstance allocates the arena and binds every buffer header to its
+// planned offset.  Alias buffers view the same storage as their root.
+func newInstance(p *Program) *Instance {
+	inst := &Instance{
+		prog:  p,
+		arena: make([]float32, p.Mem.ArenaElems),
+		bufs:  make([]*tensor.Tensor, len(p.Buffers)),
+	}
+	for i, b := range p.Buffers {
+		if b.AliasOf != NoBuffer {
+			// A zero-copy view of its root's storage; roots always precede
+			// their aliases, so the root header exists.
+			view, ok := inst.bufs[p.root(BufferID(i))].Reshape(b.Shape)
+			if !ok {
+				panic(fmt.Sprintf("runtime: buffer %d cannot reinterpret its root as %v", i, b.Shape))
+			}
+			inst.bufs[i] = view
+			continue
+		}
+		off := p.Mem.Offsets[i]
+		t, err := tensor.NewFrom(b.Shape, b.Layout, inst.arena[off:off+b.Elems()])
+		if err != nil {
+			// Compile and PlanMemory guarantee consistent shapes/offsets.
+			panic("runtime: " + err.Error())
+		}
+		inst.bufs[i] = t
+	}
+	return inst
+}
+
+// Pool recycles program instances across requests and workers.  It is backed
+// by a sync.Pool, so idle instances can still be reclaimed under memory
+// pressure while a loaded server reuses a small working set of arenas.
+type Pool struct {
+	prog *Program
+	pool sync.Pool
+}
+
+// NewPool builds an instance pool for a compiled program.
+func NewPool(p *Program) *Pool {
+	pl := &Pool{prog: p}
+	pl.pool.New = func() any { return newInstance(p) }
+	return pl
+}
+
+// Get returns an instance, reusing a previously released one when available.
+// The arena contents are unspecified; every program op fully overwrites its
+// output buffer, so no clearing is needed.
+func (pl *Pool) Get() *Instance { return pl.pool.Get().(*Instance) }
+
+// Put releases an instance for reuse.
+func (pl *Pool) Put(i *Instance) {
+	if i != nil && i.prog == pl.prog {
+		pl.pool.Put(i)
+	}
+}

@@ -1,0 +1,341 @@
+package runtime_test
+
+import (
+	"os"
+	"testing"
+
+	"memcnn/internal/frameworks"
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layers"
+	"memcnn/internal/layout"
+	"memcnn/internal/network"
+	"memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+	"memcnn/internal/workloads"
+)
+
+// planners returns the execution policies the runtime is exercised under:
+// both fixed layouts and the paper's optimiser.
+func planners() []network.Planner {
+	th := layout.TitanBlackThresholds()
+	return []network.Planner{
+		frameworks.CudaConvnet(),
+		frameworks.Caffe(),
+		frameworks.Optimized(th),
+	}
+}
+
+func mustCompile(t *testing.T, planner network.Planner, net *network.Network) *runtime.Program {
+	t.Helper()
+	plan, err := planner.Plan(gpusim.TitanBlack(), net)
+	if err != nil {
+		t.Fatalf("planning %s with %s: %v", net.Name, planner.Name(), err)
+	}
+	prog, err := runtime.Compile(plan)
+	if err != nil {
+		t.Fatalf("compiling %s/%s: %v", net.Name, planner.Name(), err)
+	}
+	return prog
+}
+
+// TestCompileStructure checks the lowering of TinyNet: one op per layer, a
+// zero-copy reshape view at the flattening boundary, and buffers consistent
+// with the layer shapes.
+func TestCompileStructure(t *testing.T) {
+	net, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lay := range []tensor.Layout{tensor.NCHW, tensor.CHWN} {
+		prog, err := runtime.CompileFixed(net, lay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var layerOps, reshapeOps, transformOps, aliases int
+		for _, op := range prog.Ops {
+			switch op.Kind {
+			case runtime.OpLayer:
+				layerOps++
+			case runtime.OpReshape:
+				reshapeOps++
+				if prog.Buffers[op.Out].AliasOf != runtime.NoBuffer {
+					aliases++
+				}
+			case runtime.OpTransform:
+				transformOps++
+			}
+		}
+		if layerOps != len(net.Layers) {
+			t.Errorf("%v: %d layer ops, want %d", lay, layerOps, len(net.Layers))
+		}
+		if transformOps != 0 {
+			t.Errorf("%v: fixed-layout program contains %d transforms", lay, transformOps)
+		}
+		if reshapeOps == 0 {
+			t.Errorf("%v: expected a reshape at the conv->fc flattening boundary", lay)
+		}
+		// NCHW reinterprets any reshape, CHWN reinterprets batch-preserving
+		// ones — both hold at flattening boundaries, so every reshape must be
+		// a zero-copy view.
+		if aliases != reshapeOps {
+			t.Errorf("%v: %d of %d reshapes are zero-copy views", lay, aliases, reshapeOps)
+		}
+		if prog.InputShape() != net.InputShape() || prog.OutputShape() != net.OutputShape() {
+			t.Errorf("%v: program shapes %v->%v, want %v->%v",
+				lay, prog.InputShape(), prog.OutputShape(), net.InputShape(), net.OutputShape())
+		}
+	}
+}
+
+// TestCompileWithTransforms checks that a plan with layout switches lowers
+// into transform ops.
+func TestCompileWithTransforms(t *testing.T) {
+	net, err := workloads.AlexNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := layout.TitanBlackThresholds()
+	plan, err := frameworks.Optimized(th).Plan(gpusim.TitanBlack(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TransformCount() == 0 {
+		t.Skip("optimiser planned AlexNet without layout switches; nothing to check")
+	}
+	prog, err := runtime.Compile(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transforms := 0
+	for _, op := range prog.Ops {
+		if op.Kind == runtime.OpTransform {
+			transforms++
+		}
+	}
+	if transforms != plan.TransformCount() {
+		t.Errorf("program has %d transform ops, plan expects %d", transforms, plan.TransformCount())
+	}
+}
+
+// TestMemoryPlanInvariants verifies, for every workload network under every
+// planner, that the memory plan is sound (no two live buffers overlap) and
+// that the arena's peak footprint is strictly below the naive
+// all-buffers-live total.
+func TestMemoryPlanInvariants(t *testing.T) {
+	nets, err := workloads.Networks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range workloads.NetworkOrder {
+		net := nets[name]
+		for _, planner := range planners() {
+			prog := mustCompile(t, planner, net)
+			if err := prog.Mem.Validate(prog); err != nil {
+				t.Errorf("%s/%s: %v", name, planner.Name(), err)
+			}
+			peak, naive := prog.Mem.PeakBytes(), prog.NaiveBytes()
+			if peak >= naive {
+				t.Errorf("%s/%s: peak %d B not below naive %d B", name, planner.Name(), peak, naive)
+			}
+			// The arena must still hold the largest single buffer.
+			for _, b := range prog.Buffers {
+				if b.AliasOf == runtime.NoBuffer && b.Bytes() > peak {
+					t.Errorf("%s/%s: buffer %v larger than arena", name, planner.Name(), b.Shape)
+				}
+			}
+			t.Logf("%s/%s: peak %.2f MiB vs naive %.2f MiB (%.0f%% saved)",
+				name, planner.Name(), float64(peak)/(1<<20), float64(naive)/(1<<20), 100*prog.Savings())
+		}
+	}
+}
+
+// goldenCase is one network of the equivalence suite with the execution
+// policies it is checked under.  The functional CPU forward pass is the cost
+// driver, so coverage is tiered: TinyNet (milliseconds) runs under every
+// planner with a rerun through the recycled arena; LeNet (seconds, skipped
+// with -short) runs under the paper's optimiser; the ImageNet-scale models
+// join — optimiser only — when MEMCNN_GOLDEN_FULL is set, as their forwards
+// take minutes on a CPU.
+type goldenCase struct {
+	name     string
+	net      *network.Network
+	planners []network.Planner
+	rerun    bool
+}
+
+func goldenCases(t *testing.T) []goldenCase {
+	t.Helper()
+	tiny, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets, err := workloads.Networks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := planners()[2:]
+	cases := []goldenCase{{name: "TinyNet", net: tiny, planners: planners(), rerun: true}}
+	if !testing.Short() {
+		cases = append(cases, goldenCase{name: "LeNet", net: nets["LeNet"], planners: opt})
+	}
+	if os.Getenv("MEMCNN_GOLDEN_FULL") != "" {
+		for _, name := range []string{"Cifar10", "AlexNet", "ZFNet", "VGG"} {
+			cases = append(cases, goldenCase{name: name, net: nets[name], planners: opt})
+		}
+	}
+	return cases
+}
+
+// TestGoldenEquivalence checks the runtime against the naive Network.Forward:
+// the planned execution must reproduce the naive output bit for bit (every
+// layer accumulates in the same order regardless of layout, so even float32
+// results are exactly equal).
+func TestGoldenEquivalence(t *testing.T) {
+	for _, tc := range goldenCases(t) {
+		in := tensor.Random(tc.net.InputShape(), tensor.CHWN, 42)
+		want, err := tc.net.Forward(in)
+		if err != nil {
+			t.Fatalf("%s: naive forward: %v", tc.name, err)
+		}
+		for _, planner := range tc.planners {
+			prog := mustCompile(t, planner, tc.net)
+			exec := runtime.NewExecutor(prog)
+			got, err := exec.Run(in)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, planner.Name(), err)
+			}
+			requireBitEqual(t, tc.name+"/"+planner.Name(), got, want)
+			if !tc.rerun {
+				continue
+			}
+			// A second run through the recycled arena must be identical.
+			again, err := exec.Run(in)
+			if err != nil {
+				t.Fatalf("%s/%s rerun: %v", tc.name, planner.Name(), err)
+			}
+			requireBitEqual(t, tc.name+"/"+planner.Name()+" rerun", again, want)
+		}
+	}
+}
+
+func requireBitEqual(t *testing.T, label string, got, want *tensor.Tensor) {
+	t.Helper()
+	if got.Shape != want.Shape || got.Layout != want.Layout {
+		t.Fatalf("%s: got %v/%v, want %v/%v", label, got.Shape, got.Layout, want.Shape, want.Layout)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			diff, _ := tensor.MaxAbsDiff(got, want)
+			t.Fatalf("%s: output differs from Network.Forward (first at %d: %v vs %v, max |Δ| %v)",
+				label, i, got.Data[i], want.Data[i], diff)
+		}
+	}
+}
+
+// TestRunIntoConvertsLayouts checks RunInto delivery into a caller buffer of
+// a different layout.
+func TestRunIntoConvertsLayouts(t *testing.T) {
+	net, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.CompileFixed(net, tensor.CHWN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := runtime.NewExecutor(prog)
+	in := tensor.Random(net.InputShape(), tensor.NCHW, 7)
+	want, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := tensor.New(net.OutputShape(), tensor.CHWN)
+	if err := exec.RunInto(in, dst); err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "chwn delivery", tensor.Convert(dst, tensor.NCHW), want)
+}
+
+// TestExecutorRejectsBadShapes covers the error paths.
+func TestExecutorRejectsBadShapes(t *testing.T) {
+	net, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.CompileFixed(net, tensor.NCHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := runtime.NewExecutor(prog)
+	bad := tensor.New(tensor.Shape{N: 4, C: 2, H: 12, W: 12}, tensor.NCHW)
+	if _, err := exec.Run(bad); err == nil {
+		t.Error("wrong input shape must be rejected")
+	}
+	in := tensor.New(net.InputShape(), tensor.NCHW)
+	badOut := tensor.New(tensor.Shape{N: 4, C: 3, H: 1, W: 1}, tensor.NCHW)
+	if err := exec.RunInto(in, badOut); err == nil {
+		t.Error("wrong output shape must be rejected")
+	}
+}
+
+// forwardOnly wraps a layer, hiding its IntoForwarder implementation, so the
+// executor's Forward-and-copy fallback stays covered now that every concrete
+// layer implements ForwardInto.
+type forwardOnly struct{ inner layers.Layer }
+
+func (f forwardOnly) Name() string                        { return f.inner.Name() }
+func (f forwardOnly) InputShape() tensor.Shape            { return f.inner.InputShape() }
+func (f forwardOnly) OutputShape() tensor.Shape           { return f.inner.OutputShape() }
+func (f forwardOnly) SupportsLayout(l tensor.Layout) bool { return f.inner.SupportsLayout(l) }
+func (f forwardOnly) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	return f.inner.Forward(in)
+}
+func (f forwardOnly) Cost(d *gpusim.Device, l tensor.Layout, o layers.CostOptions) ([]gpusim.KernelStats, error) {
+	return f.inner.Cost(d, l, o)
+}
+
+// TestExecutorFallbackForward runs a network whose layers expose only the
+// allocating Forward and checks the copy-into-arena fallback reproduces the
+// golden output.
+func TestExecutorFallbackForward(t *testing.T) {
+	base, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := make([]layers.Layer, len(base.Layers))
+	for i, l := range base.Layers {
+		wrapped[i] = forwardOnly{l}
+	}
+	net, err := network.New("TinyNetFallback", base.Batch, wrapped...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.CompileFixed(net, tensor.NCHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.Random(net.InputShape(), tensor.NCHW, 11)
+	want, err := base.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runtime.NewExecutor(prog).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "fallback", got, want)
+}
+
+// TestCompileFixedRejectsUnsupportedLayout covers the lowering error path.
+func TestCompileFixedRejectsUnsupportedLayout(t *testing.T) {
+	net, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runtime.CompileFixed(net, tensor.NHWC); err == nil {
+		t.Error("NHWC is unsupported by conv layers and must be rejected")
+	}
+	if _, err := runtime.Compile(nil); err == nil {
+		t.Error("a nil plan must be rejected")
+	}
+}

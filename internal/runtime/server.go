@@ -1,0 +1,283 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memcnn/internal/tensor"
+)
+
+// ErrServerClosed is returned for requests submitted to (or stranded in) a
+// server that has been closed.
+var ErrServerClosed = errors.New("runtime: server closed")
+
+// ServerConfig tunes the micro-batching front-end.
+type ServerConfig struct {
+	// MaxBatch is the largest number of requests coalesced into one planned
+	// execution.  It must not exceed the compiled network's batch size, which
+	// is also the default.
+	MaxBatch int
+	// MaxDelay bounds how long a request waits for the batch to fill before
+	// the server runs a padded partial batch.  Default 2ms.
+	MaxDelay time.Duration
+	// Workers is the number of concurrent batch executors.  Default 2.
+	Workers int
+	// QueueDepth is the request queue capacity.  Default 2·MaxBatch·Workers.
+	QueueDepth int
+}
+
+// withDefaults replaces unset (or non-positive) fields with their defaults.
+func (c ServerConfig) withDefaults(batch int) ServerConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = batch
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.MaxBatch * c.Workers
+	}
+	return c
+}
+
+// ServerStats is a snapshot of the server's batching behaviour.
+type ServerStats struct {
+	Requests     uint64  // single-image requests completed
+	Batches      uint64  // planned executions performed
+	Errors       uint64  // requests that failed
+	LargestBatch uint64  // largest coalesced batch observed
+	AvgBatch     float64 // mean requests per execution
+}
+
+type response struct {
+	out *tensor.Tensor
+	err error
+}
+
+type request struct {
+	img  *tensor.Tensor
+	resp chan response
+}
+
+// NewServer starts the workers for a compiled program.
+func NewServer(prog *Program, cfg ServerConfig) (*BatchServer, error) {
+	in := prog.InputShape()
+	cfg = cfg.withDefaults(in.N)
+	if cfg.MaxBatch > in.N {
+		return nil, fmt.Errorf("runtime: MaxBatch %d exceeds the network batch %d", cfg.MaxBatch, in.N)
+	}
+	s := &BatchServer{
+		prog: prog,
+		exec: NewExecutor(prog),
+		cfg:  cfg,
+		reqs: make(chan *request, cfg.QueueDepth),
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// BatchServer is a concurrent batched-inference front-end over a compiled
+// program: single-image requests are queued, coalesced into batches of up to
+// MaxBatch images (waiting at most MaxDelay), padded to the network's batch
+// size and run through the planned executor.  Every layer processes images
+// independently, so padded slots cannot perturb real results.
+type BatchServer struct {
+	prog *Program
+	exec *Executor
+	cfg  ServerConfig
+
+	reqs chan *request
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	requests     atomic.Uint64
+	batches      atomic.Uint64
+	errors       atomic.Uint64
+	largestBatch atomic.Uint64
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *BatchServer) Config() ServerConfig { return s.cfg }
+
+// Infer submits one image — shape {1,C,H,W} for a network consuming
+// {B,C,H,W} — and blocks until its result, a {1,classes…} tensor in NCHW
+// layout, is ready or the context is cancelled.
+func (s *BatchServer) Infer(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, error) {
+	in := s.prog.InputShape()
+	want := tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}
+	if img.Shape != want {
+		return nil, fmt.Errorf("runtime: request shape %v, want %v", img.Shape, want)
+	}
+	r := &request{img: img, resp: make(chan response, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrServerClosed
+	}
+	select {
+	case s.reqs <- r:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		s.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case resp := <-r.resp:
+		return resp.out, resp.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the batching counters.
+func (s *BatchServer) Stats() ServerStats {
+	st := ServerStats{
+		Requests:     s.requests.Load(),
+		Batches:      s.batches.Load(),
+		Errors:       s.errors.Load(),
+		LargestBatch: s.largestBatch.Load(),
+	}
+	if st.Batches > 0 {
+		st.AvgBatch = float64(st.Requests) / float64(st.Batches)
+	}
+	return st
+}
+
+// Close stops the workers and fails any queued requests with
+// ErrServerClosed.  It is idempotent.
+func (s *BatchServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	for {
+		select {
+		case r := <-s.reqs:
+			r.resp <- response{err: ErrServerClosed}
+		default:
+			return
+		}
+	}
+}
+
+// worker coalesces and executes batches until the server closes.
+func (s *BatchServer) worker() {
+	defer s.wg.Done()
+	inBatch := tensor.New(s.prog.InputShape(), tensor.NCHW)
+	outBatch := tensor.New(s.prog.OutputShape(), tensor.NCHW)
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	timer := time.NewTimer(time.Hour)
+	stopTimer(timer)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case r := <-s.reqs:
+			batch = append(batch[:0], r)
+			if s.cfg.MaxBatch > 1 {
+				timer.Reset(s.cfg.MaxDelay)
+			collect:
+				for len(batch) < s.cfg.MaxBatch {
+					select {
+					case r2 := <-s.reqs:
+						batch = append(batch, r2)
+					case <-timer.C:
+						break collect
+					case <-s.stop:
+						// Serve what we already accepted, then exit above.
+						break collect
+					}
+				}
+				stopTimer(timer)
+			}
+			s.serveBatch(inBatch, outBatch, batch)
+		}
+	}
+}
+
+// stopTimer stops a timer and drains a pending fire so Reset is safe.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// serveBatch packs the requests into the staging batch, runs the planned
+// program once and slices the results back out per request.
+func (s *BatchServer) serveBatch(inBatch, outBatch *tensor.Tensor, batch []*request) {
+	in := s.prog.InputShape()
+	chw := in.C * in.H * in.W
+	for slot, r := range batch {
+		packImage(inBatch.Data[slot*chw:(slot+1)*chw], r.img)
+	}
+	// Zero the padding slots: stale activations from a previous batch must
+	// not leak between requests (values cannot, but padded garbage could
+	// overflow to Inf/NaN inside its own image; zeros keep every run tame).
+	clear(inBatch.Data[len(batch)*chw:])
+
+	err := s.exec.RunInto(inBatch, outBatch)
+	s.batches.Add(1)
+	s.requests.Add(uint64(len(batch)))
+	for {
+		cur := s.largestBatch.Load()
+		if uint64(len(batch)) <= cur || s.largestBatch.CompareAndSwap(cur, uint64(len(batch))) {
+			break
+		}
+	}
+	if err != nil {
+		s.errors.Add(uint64(len(batch)))
+		for _, r := range batch {
+			r.resp <- response{err: err}
+		}
+		return
+	}
+	out := s.prog.OutputShape()
+	perImage := out.C * out.H * out.W
+	for slot, r := range batch {
+		res := tensor.New(tensor.Shape{N: 1, C: out.C, H: out.H, W: out.W}, tensor.NCHW)
+		copy(res.Data, outBatch.Data[slot*perImage:(slot+1)*perImage])
+		r.resp <- response{out: res}
+	}
+}
+
+// packImage writes one {1,C,H,W} request image into an NCHW batch slot.  With
+// N = 1 the NCHW and CHWN linearisations coincide, so both copy directly; the
+// channel-interleaved layouts are gathered element-wise.
+func packImage(dst []float32, img *tensor.Tensor) {
+	if img.Layout == tensor.NCHW || img.Layout == tensor.CHWN {
+		copy(dst, img.Data)
+		return
+	}
+	s := img.Shape
+	i := 0
+	for c := 0; c < s.C; c++ {
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				dst[i] = img.At(0, c, h, w)
+				i++
+			}
+		}
+	}
+}

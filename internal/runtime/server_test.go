@@ -1,0 +1,185 @@
+package runtime_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"memcnn/internal/network"
+	"memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+	"memcnn/internal/workloads"
+)
+
+// serverFixture compiles TinyNet, builds per-image golden outputs with the
+// naive Network.Forward, and returns the distinct request images.
+func serverFixture(t *testing.T) (*runtime.Program, []*tensor.Tensor, []*tensor.Tensor) {
+	t.Helper()
+	net, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.CompileFixed(net, tensor.CHWN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := net.InputShape() // {4,1,12,12}
+	images, golden := goldenPerImage(t, net, in.N)
+	return prog, images, golden
+}
+
+// goldenPerImage builds `count` distinct single-image inputs, runs them
+// through the naive forward pass as one batch and slices the per-image
+// outputs.  Every layer processes images independently, so each row is the
+// exact golden answer for its image alone.
+func goldenPerImage(t *testing.T, net *network.Network, count int) (images, golden []*tensor.Tensor) {
+	t.Helper()
+	in := net.InputShape()
+	batch := tensor.Random(in, tensor.NCHW, 99)
+	chw := in.C * in.H * in.W
+	for i := 0; i < count; i++ {
+		img := tensor.New(tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}, tensor.NCHW)
+		copy(img.Data, batch.Data[i*chw:(i+1)*chw])
+		images = append(images, img)
+	}
+	out, err := net.Forward(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outNCHW := tensor.Convert(out, tensor.NCHW)
+	os := out.Shape
+	per := os.C * os.H * os.W
+	for i := 0; i < count; i++ {
+		row := tensor.New(tensor.Shape{N: 1, C: os.C, H: os.H, W: os.W}, tensor.NCHW)
+		copy(row.Data, outNCHW.Data[i*per:(i+1)*per])
+		golden = append(golden, row)
+	}
+	return images, golden
+}
+
+// TestServerConcurrentRequests drives 96 concurrent single-image requests
+// (run under -race by CI) and checks every response bit-equals the naive
+// per-image golden output.
+func TestServerConcurrentRequests(t *testing.T) {
+	prog, images, golden := serverFixture(t)
+	srv, err := runtime.NewServer(prog, runtime.ServerConfig{
+		MaxDelay: 5 * time.Millisecond,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const concurrent = 96
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img := images[i%len(images)]
+			out, err := srv.Infer(ctx, img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := golden[i%len(golden)]
+			for j := range want.Data {
+				if out.Data[j] != want.Data[j] {
+					errs <- errMismatch(i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.Requests != concurrent {
+		t.Errorf("stats report %d requests, want %d", st.Requests, concurrent)
+	}
+	if st.Batches == 0 || st.Batches > concurrent {
+		t.Errorf("implausible batch count %d", st.Batches)
+	}
+	if st.LargestBatch < 2 {
+		t.Errorf("no coalescing observed (largest batch %d)", st.LargestBatch)
+	}
+	t.Logf("served %d requests in %d batches (avg %.2f, largest %d)",
+		st.Requests, st.Batches, st.AvgBatch, st.LargestBatch)
+}
+
+type errMismatchErr struct{ req, elem int }
+
+func errMismatch(req, elem int) error { return errMismatchErr{req, elem} }
+
+func (e errMismatchErr) Error() string {
+	return fmt.Sprintf("request %d: result differs from golden output at element %d", e.req, e.elem)
+}
+
+// TestServerPartialBatch checks the padded partial-batch path: one lone
+// request must still produce the exact golden output.
+func TestServerPartialBatch(t *testing.T) {
+	prog, images, golden := serverFixture(t)
+	srv, err := runtime.NewServer(prog, runtime.ServerConfig{MaxDelay: time.Millisecond, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	out, err := srv.Infer(context.Background(), images[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range golden[2].Data {
+		if out.Data[j] != golden[2].Data[j] {
+			t.Fatalf("padded partial batch corrupted the result at %d", j)
+		}
+	}
+	if st := srv.Stats(); st.Requests != 1 || st.Batches != 1 {
+		t.Errorf("stats = %+v, want 1 request in 1 batch", st)
+	}
+}
+
+// TestServerValidation covers configuration and request validation.
+func TestServerValidation(t *testing.T) {
+	prog, images, _ := serverFixture(t)
+	if _, err := runtime.NewServer(prog, runtime.ServerConfig{MaxBatch: 99}); err == nil {
+		t.Error("MaxBatch above the network batch must be rejected")
+	}
+	srv, err := runtime.NewServer(prog, runtime.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := tensor.New(tensor.Shape{N: 2, C: 1, H: 12, W: 12}, tensor.NCHW)
+	if _, err := srv.Infer(context.Background(), bad); err == nil {
+		t.Error("a multi-image request must be rejected")
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Infer(context.Background(), images[0]); err != runtime.ErrServerClosed {
+		t.Errorf("Infer after Close returned %v, want ErrServerClosed", err)
+	}
+}
+
+// TestServerContextCancellation checks that a cancelled context unblocks the
+// caller.
+func TestServerContextCancellation(t *testing.T) {
+	prog, images, _ := serverFixture(t)
+	srv, err := runtime.NewServer(prog, runtime.ServerConfig{MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Infer(ctx, images[0]); err != context.Canceled {
+		t.Errorf("Infer with cancelled context returned %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import "fmt"
+
+// CanReinterpret reports whether a tensor of shape from under layout l can be
+// relabelled with shape to (same element count) without moving any data, i.e.
+// whether the linearisation of the canonical (N,C,H,W) traversal is the same
+// for both shapes.
+//
+// Two cases qualify:
+//
+//   - NCHW: the linear order is exactly the canonical traversal, so any
+//     element-count-preserving reshape is a pure reinterpretation.
+//   - CHWN with an unchanged batch dimension: the batch index is innermost
+//     with stride 1 and the (C,H,W) block is traversed canonically above it,
+//     so merging or splitting the feature dimensions keeps every element in
+//     place.  This is the common flattening boundary (conv/pool output into a
+//     fully-connected layer), which preserves N by construction.
+//
+// The other layouts interleave C with the spatial dimensions and never
+// qualify.
+func CanReinterpret(from, to Shape, l Layout) bool {
+	if from.Elems() != to.Elems() {
+		return false
+	}
+	switch l {
+	case NCHW:
+		return true
+	case CHWN:
+		return from.N == to.N
+	default:
+		return false
+	}
+}
+
+// Reshape returns a tensor with the new shape sharing t's backing slice when
+// the relabelling is a pure reinterpretation (see CanReinterpret), reporting
+// true.  Otherwise it returns nil and false; callers needing the general case
+// fall back to a canonical-order copy (ReshapeInto).
+func (t *Tensor) Reshape(shape Shape) (*Tensor, bool) {
+	if !CanReinterpret(t.Shape, shape, t.Layout) {
+		return nil, false
+	}
+	return &Tensor{Shape: shape, Layout: t.Layout, Data: t.Data}, true
+}
+
+// ReshapeInto copies t into dst, which must hold the same number of elements,
+// carrying values in canonical (N,C,H,W) order: the i-th element of t's
+// canonical traversal becomes the i-th element of dst's canonical traversal.
+// When both linearisations already agree with the canonical order the copy
+// degenerates to a single memmove.
+func ReshapeInto(t, dst *Tensor) error {
+	if t.Shape.Elems() != dst.Shape.Elems() {
+		return fmt.Errorf("tensor: cannot reshape %v into %v", t.Shape, dst.Shape)
+	}
+	if CanReinterpret(t.Shape, dst.Shape, t.Layout) && dst.Layout == t.Layout {
+		copy(dst.Data, t.Data)
+		return nil
+	}
+	// General path: walk both canonical traversals in lockstep.
+	src := canonicalOrder(t)
+	s := dst.Shape
+	i := 0
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				for w := 0; w < s.W; w++ {
+					dst.Data[s.Offset(dst.Layout, n, c, h, w)] = src[i]
+					i++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalOrder returns t's elements in canonical (N,C,H,W) traversal order.
+// For NCHW tensors that is the backing slice itself; other layouts are
+// gathered into a fresh slice.
+func canonicalOrder(t *Tensor) []float32 {
+	if t.Layout == NCHW {
+		return t.Data
+	}
+	s := t.Shape
+	sn, sc, sh, sw := s.Strides(t.Layout)
+	out := make([]float32, s.Elems())
+	i := 0
+	for n := 0; n < s.N; n++ {
+		for c := 0; c < s.C; c++ {
+			for h := 0; h < s.H; h++ {
+				base := n*sn + c*sc + h*sh
+				for w := 0; w < s.W; w++ {
+					out[i] = t.Data[base+w*sw]
+					i++
+				}
+			}
+		}
+	}
+	return out
+}
