@@ -11,8 +11,10 @@ import (
 	"math"
 	"testing"
 
+	"memcnn/internal/autotune"
 	"memcnn/internal/bench"
 	"memcnn/internal/gpusim"
+	"memcnn/internal/kernels"
 	"memcnn/internal/layout"
 	memruntime "memcnn/internal/runtime"
 	"memcnn/internal/tensor"
@@ -344,6 +346,65 @@ func BenchmarkInference(b *testing.B) {
 		}
 		b.ReportMetric(batch*float64(b.N)/b.Elapsed().Seconds(), "imgs/sec")
 	})
+}
+
+// BenchmarkConvAlgorithms compares the two production convolution strategies
+// of the planned runtime — direct and im2col+GEMM — across layer shapes from
+// both of the paper's regimes, and reports which one the compile-time
+// selector picks (selects_gemm metric).  The GEMM path must win clearly on
+// the VGG/AlexNet-scale shapes while the direct path keeps tiny single-image
+// layers cheap; both run allocation-free into pre-sized buffers, exactly as
+// the executor drives them.
+func BenchmarkConvAlgorithms(b *testing.B) {
+	shapes := []struct {
+		name string
+		cfg  kernels.ConvConfig
+	}{
+		{"1img-small", kernels.ConvConfig{N: 1, C: 3, H: 16, W: 16, K: 8, FH: 3, FW: 3, PadH: 1, PadW: 1}},
+		{"cifar-conv2", kernels.ConvConfig{N: 32, C: 64, H: 12, W: 12, K: 64, FH: 5, FW: 5, PadH: 2, PadW: 2}},
+		{"vgg-conv3_1", kernels.ConvConfig{N: 2, C: 128, H: 28, W: 28, K: 256, FH: 3, FW: 3, PadH: 1, PadW: 1}},
+	}
+	for _, s := range shapes {
+		cfg := s.cfg
+		in := tensor.Random(cfg.InputShape(), tensor.NCHW, 1)
+		filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 2)
+		out := tensor.New(cfg.OutputShape(), tensor.NCHW)
+		packed, err := kernels.PackConvFilters(filters, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch := make([]float32, kernels.ConvGemmWorkspaceElems(cfg, tensor.NCHW))
+		gflop := cfg.FLOPs() / 1e9
+		selected := autotune.SelectConvAlgorithm(cfg)
+
+		b.Run(s.name+"/direct", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := kernels.ConvDirectInto(in, filters, out, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(gflop*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+			b.ReportMetric(boolMetric(selected == kernels.ConvAlgDirect), "selected")
+		})
+		b.Run(s.name+"/gemm", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := kernels.ConvIm2colGemmInto(in, packed, out, cfg, scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(gflop*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+			b.ReportMetric(boolMetric(selected == kernels.ConvAlgGemm), "selected")
+		})
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // pow computes the geometric-mean root used by several benchmarks.

@@ -3,24 +3,30 @@
 // library policy (the Fig. 15 view for AlexNet).
 //
 // The -runtime flag switches to the planned-execution view: every network is
-// compiled through internal/runtime and its static memory plan is reported
-// (arena peak vs. the naive all-buffers-live footprint); -exec additionally
-// executes the compiled programs functionally on the CPU and compares their
-// throughput against the naive Network.Forward.
+// compiled through internal/runtime — with per-layer convolution algorithm
+// selection (direct vs im2col+GEMM) unless -select=false — and its static
+// memory plan plus the chosen algorithm per convolution layer is reported;
+// -exec additionally executes the compiled programs functionally on the CPU
+// and compares naive, direct-only and algorithm-selected throughput.  -json
+// writes the per-network results as machine-readable records (the BENCH_*.json
+// perf-trajectory format).
 //
 // Usage:
 //
 //	netbench                         # Fig. 14 on the Titan Black model
 //	netbench -network AlexNet -detail
 //	netbench -device titanx -thresholds calibrated
-//	netbench -runtime                # memory plans for every network
+//	netbench -runtime                # memory plans + conv algorithms
 //	netbench -runtime -exec          # plus measured throughput (small nets)
+//	netbench -runtime -exec -json BENCH_runtime.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"strings"
 	"time"
 
@@ -42,6 +48,9 @@ func main() {
 		detail      = flag.Bool("detail", false, "print the per-layer breakdown for each planner")
 		runtimeView = flag.Bool("runtime", false, "compile each network with internal/runtime and report its static memory plan")
 		execute     = flag.Bool("exec", false, "with -runtime: execute the compiled programs and measure imgs/sec (small networks only unless -network selects one)")
+		selectAlgs  = flag.Bool("select", true, "with -runtime: select the convolution algorithm per layer (direct vs im2col+GEMM)")
+		probe       = flag.Bool("probe", false, "with -runtime -select: pick each conv algorithm by timing both kernels instead of the analytic heuristic")
+		jsonPath    = flag.String("json", "", "with -runtime: write per-network latency/alloc stats to this file as JSON")
 	)
 	flag.Parse()
 
@@ -59,7 +68,8 @@ func main() {
 	fmt.Printf("device: %s\nlayout thresholds: %v\n\n", dev.Name, th)
 
 	if *runtimeView {
-		if err := runtimeReport(dev, th, *networkName, *execute); err != nil {
+		opts := memruntime.Options{ConvAlgorithms: *selectAlgs, Probe: *probe}
+		if err := runtimeReport(dev, th, *networkName, *execute, opts, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -123,12 +133,44 @@ func main() {
 	}
 }
 
+// convChoiceJSON is the machine-readable record of one conv op's algorithm.
+type convChoiceJSON struct {
+	Layer          string `json:"layer"`
+	Algorithm      string `json:"algorithm"`
+	WorkspaceBytes int64  `json:"workspace_bytes,omitempty"`
+}
+
+// netReport is the machine-readable per-network record written by -json; it
+// is the seed of the BENCH_*.json perf trajectory.
+type netReport struct {
+	Network        string           `json:"network"`
+	Batch          int              `json:"batch"`
+	Planner        string           `json:"planner"`
+	Ops            int              `json:"ops"`
+	Buffers        int              `json:"buffers"`
+	PeakBytes      int64            `json:"peak_bytes"`
+	NaiveBytes     int64            `json:"naive_bytes"`
+	ScratchBytes   int64            `json:"scratch_bytes"`
+	SavedFraction  float64          `json:"saved_fraction"`
+	ConvAlgorithms []convChoiceJSON `json:"conv_algorithms,omitempty"`
+
+	// Execution stats, present with -exec.
+	NaiveUS            float64 `json:"naive_us,omitempty"`
+	DirectUS           float64 `json:"direct_us,omitempty"`
+	SelectedUS         float64 `json:"selected_us,omitempty"`
+	SelectedImgsPerSec float64 `json:"selected_imgs_per_sec,omitempty"`
+	SelectedAllocBytes uint64  `json:"selected_alloc_bytes,omitempty"`
+}
+
 // runtimeReport compiles every selected network through the planned-execution
-// engine and prints its op count and static memory plan; with exec it also
-// measures functional throughput against the naive Network.Forward.  By
-// default execution covers only the sub-second networks (LeNet, Cifar10);
-// selecting a single network with -network overrides that guard.
-func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool) error {
+// engine and prints its op count, static memory plan and the convolution
+// algorithm chosen per layer; with exec it also measures functional
+// throughput of the naive forward, the direct-only program and the
+// algorithm-selected program.  By default execution covers only the
+// sub-second networks (LeNet, Cifar10); selecting a single network with
+// -network overrides that guard.  A non-empty jsonPath collects the reports
+// into a JSON file.
+func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, jsonPath string) error {
 	nets, err := workloads.Networks()
 	if err != nil {
 		return err
@@ -144,6 +186,7 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 	planner := frameworks.Optimized(th)
 	cheap := map[string]bool{"LeNet": true, "Cifar10": true}
 
+	var reports []netReport
 	fmt.Printf("%-8s %9s %8s %12s %12s %7s\n", "network", "ops", "buffers", "peak", "naive", "saved")
 	for _, name := range targets {
 		net := nets[name]
@@ -151,7 +194,7 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 		if err != nil {
 			return fmt.Errorf("netbench: planning %s: %w", name, err)
 		}
-		prog, err := memruntime.Compile(plan)
+		prog, err := memruntime.CompileWithOptions(plan, opts)
 		if err != nil {
 			return fmt.Errorf("netbench: compiling %s: %w", name, err)
 		}
@@ -159,18 +202,68 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 			name, len(prog.Ops), len(prog.Buffers),
 			float64(prog.Mem.PeakBytes())/(1<<20), float64(prog.NaiveBytes())/(1<<20),
 			100*prog.Savings())
+		rep := netReport{
+			Network: name, Batch: net.Batch, Planner: plan.PlannerName,
+			Ops: len(prog.Ops), Buffers: len(prog.Buffers),
+			PeakBytes: prog.Mem.PeakBytes(), NaiveBytes: prog.NaiveBytes(),
+			ScratchBytes: prog.ScratchBytes(), SavedFraction: prog.Savings(),
+		}
+		for _, ch := range prog.ConvChoices() {
+			rep.ConvAlgorithms = append(rep.ConvAlgorithms, convChoiceJSON{
+				Layer: ch.Layer, Algorithm: ch.Alg.String(), WorkspaceBytes: ch.WorkspaceBytes,
+			})
+			if opts.ConvAlgorithms {
+				line := fmt.Sprintf("         conv %-12s %s", ch.Layer, ch.Alg)
+				if ch.WorkspaceBytes > 0 {
+					line += fmt.Sprintf(" (workspace %.2f MiB)", float64(ch.WorkspaceBytes)/(1<<20))
+				}
+				fmt.Println(line)
+			}
+		}
 		if exec && (cheap[name] || len(targets) == 1) {
-			if err := timeExecution(net, prog); err != nil {
+			direct := prog // without selection the program already is direct-only
+			if opts.ConvAlgorithms {
+				direct, err = memruntime.Compile(plan)
+				if err != nil {
+					return fmt.Errorf("netbench: compiling %s direct-only: %w", name, err)
+				}
+			}
+			if err := timeExecution(net, direct, prog, &rep); err != nil {
 				return err
 			}
 		}
+		reports = append(reports, rep)
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return fmt.Errorf("netbench: encoding json: %w", err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("netbench: writing %s: %w", jsonPath, err)
+		}
+		fmt.Printf("wrote %d network report(s) to %s\n", len(reports), jsonPath)
 	}
 	return nil
 }
 
-// timeExecution runs the naive forward and the compiled program once each and
-// reports their functional throughput.
-func timeExecution(net *network.Network, prog *memruntime.Program) error {
+// timedRun executes one warmed planned program and returns the elapsed time
+// and the heap bytes allocated during the run.
+func timedRun(exec *memruntime.Executor, in, out *tensor.Tensor) (time.Duration, uint64, error) {
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	start := time.Now()
+	err := exec.RunInto(in, out)
+	elapsed := time.Since(start)
+	goruntime.ReadMemStats(&after)
+	return elapsed, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// timeExecution runs the naive forward, the direct-only program and the
+// algorithm-selected program once each (after warming the arena pools) and
+// reports their functional throughput.  When direct and selected are the
+// same program (selection disabled) the planned execution is timed once.
+func timeExecution(net *network.Network, direct, selected *memruntime.Program, rep *netReport) error {
 	in := tensor.Random(net.InputShape(), tensor.NCHW, 1)
 	start := time.Now()
 	if _, err := net.Forward(in); err != nil {
@@ -178,19 +271,41 @@ func timeExecution(net *network.Network, prog *memruntime.Program) error {
 	}
 	naive := time.Since(start)
 
-	executor := memruntime.NewExecutor(prog)
-	out := tensor.New(prog.OutputShape(), tensor.NCHW)
-	if err := executor.RunInto(in, out); err != nil { // warm the arena pool
+	out := tensor.New(selected.OutputShape(), tensor.NCHW)
+	selectedExec := memruntime.NewExecutor(selected)
+	if err := selectedExec.RunInto(in, out); err != nil { // warm the arena pool
 		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
 	}
-	start = time.Now()
-	if err := executor.RunInto(in, out); err != nil {
+	selectedTime, allocBytes, err := timedRun(selectedExec, in, out)
+	if err != nil {
 		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
 	}
-	planned := time.Since(start)
 
 	batch := float64(net.Batch)
-	fmt.Printf("         naive %8.1f imgs/sec | planned %8.1f imgs/sec (%.2fx)\n",
-		batch/naive.Seconds(), batch/planned.Seconds(), naive.Seconds()/planned.Seconds())
+	rep.NaiveUS = float64(naive.Microseconds())
+	rep.SelectedUS = float64(selectedTime.Microseconds())
+	rep.SelectedImgsPerSec = batch / selectedTime.Seconds()
+	rep.SelectedAllocBytes = allocBytes
+
+	if direct == selected {
+		fmt.Printf("         naive %8.1f | planned %8.1f imgs/sec (%.2fx, %d alloc B)\n",
+			batch/naive.Seconds(), batch/selectedTime.Seconds(),
+			naive.Seconds()/selectedTime.Seconds(), allocBytes)
+		rep.DirectUS = rep.SelectedUS
+		return nil
+	}
+
+	directExec := memruntime.NewExecutor(direct)
+	if err := directExec.RunInto(in, out); err != nil {
+		return fmt.Errorf("netbench: %s direct run: %w", net.Name, err)
+	}
+	directTime, _, err := timedRun(directExec, in, out)
+	if err != nil {
+		return fmt.Errorf("netbench: %s direct run: %w", net.Name, err)
+	}
+	fmt.Printf("         naive %8.1f | direct %8.1f | selected %8.1f imgs/sec (%.2fx vs direct, %d alloc B)\n",
+		batch/naive.Seconds(), batch/directTime.Seconds(), batch/selectedTime.Seconds(),
+		directTime.Seconds()/selectedTime.Seconds(), allocBytes)
+	rep.DirectUS = float64(directTime.Microseconds())
 	return nil
 }

@@ -14,10 +14,16 @@
 // layout-transform ops, zero-copy reshape views), the buffers are packed into
 // a single arena by a liveness-driven static memory plan, and the compiled
 // program runs on recycled arena instances with no steady-state tensor
-// allocation.  A dynamic micro-batching server coalesces concurrent
-// single-image requests into planned batched executions; cmd/memcnnserve
-// serves it over HTTP and `netbench -runtime` reports every network's arena
-// footprint against the naive all-buffers-live total.
+// allocation.  The compiler additionally selects a convolution algorithm per
+// layer — direct or im2col+GEMM, by the paper's merged-matrix-dimension
+// argument (internal/autotune) or a measured probe — pre-packs the filter
+// banks into flat GEMM operands, and plans every kernel workspace
+// (convolution unroll matrices, fully-connected flatten staging, softmax
+// logits) into the arena as op-local buffers.  A dynamic micro-batching
+// server coalesces concurrent single-image requests into planned batched
+// executions; cmd/memcnnserve serves it over HTTP and `netbench -runtime`
+// reports every network's arena footprint, per-layer algorithm choice and
+// (with -exec/-json) measured direct-vs-selected throughput.
 //
 // The public entry points live under internal/ because the module is a
 // self-contained reproduction rather than an importable SDK; the cmd/ tools

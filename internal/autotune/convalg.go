@@ -1,0 +1,85 @@
+package autotune
+
+import (
+	"time"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// Per-layer convolution algorithm selection: the CPU analogue of the paper's
+// central observation that no single convolution strategy wins across layer
+// shapes (Section II.B / IV.A).  The im2col+GEMM path inherits matrix
+// multiplication's robustness but pays the unroll traffic, so it only wins
+// once the merged matrix dimensions are large; the direct path has no
+// transformation overhead and keeps small shapes cheap.  The planned runtime
+// (internal/runtime) asks this package which strategy each compiled conv op
+// should record, either through the analytic heuristic or a measured probe.
+
+// Thresholds of the analytic heuristic.  They mirror the paper's
+// matrix-expansion argument: the GEMM reduction dimension is C·FH·FW, and the
+// layer's arithmetic volume is K · (N·OutH·OutW) · (C·FH·FW) multiply-adds.
+// The reduction has to clear a floor before the unrolled matrix is more
+// compute than transformation overhead, and the arithmetic volume has to
+// amortise the per-image unroll, the GEMM setup and the goroutine fan-out.
+const (
+	// GemmMinReduction is the minimum C·FH·FW for the GEMM path; below it the
+	// unrolled matrix is mostly transformation overhead (the small-C regime
+	// where cuda-convnet's direct kernel wins in Fig. 3).
+	GemmMinReduction = 32
+	// GemmMinFMAs is the minimum K·N·OutH·OutW·C·FH·FW multiply-add count;
+	// a tiny layer (one small image, few filters) finishes faster in the
+	// transformation-free direct kernel than the unroll machinery can start.
+	GemmMinFMAs = 1 << 20
+)
+
+// SelectConvAlgorithm picks the CPU convolution strategy for a layer shape
+// with the analytic merged-matrix heuristic.
+func SelectConvAlgorithm(cfg kernels.ConvConfig) kernels.ConvAlgorithm {
+	if err := cfg.Validate(); err != nil {
+		return kernels.ConvAlgDirect
+	}
+	red := cfg.ReductionLength()
+	fmas := cfg.FLOPs() / 2
+	if red >= GemmMinReduction && fmas >= GemmMinFMAs {
+		return kernels.ConvAlgGemm
+	}
+	return kernels.ConvAlgDirect
+}
+
+// ProbeConvAlgorithm selects the strategy by measurement instead of the
+// heuristic: it runs both kernels once on a deterministic random input in the
+// given layout and returns the faster one together with the two measured
+// times (direct first).  It is the compile-time "measured probe" mode; each
+// probe costs two full executions of the layer.
+func ProbeConvAlgorithm(cfg kernels.ConvConfig, layout tensor.Layout) (kernels.ConvAlgorithm, [2]time.Duration, error) {
+	var times [2]time.Duration
+	if err := cfg.Validate(); err != nil {
+		return kernels.ConvAlgDirect, times, err
+	}
+	in := tensor.Random(cfg.InputShape(), layout, 1)
+	filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 2)
+	out := tensor.New(cfg.OutputShape(), layout)
+
+	start := time.Now()
+	if err := kernels.ConvDirectInto(in, filters, out, cfg); err != nil {
+		return kernels.ConvAlgDirect, times, err
+	}
+	times[0] = time.Since(start)
+
+	packed, err := kernels.PackConvFilters(filters, cfg)
+	if err != nil {
+		return kernels.ConvAlgDirect, times, err
+	}
+	scratch := make([]float32, kernels.ConvGemmWorkspaceElems(cfg, layout))
+	start = time.Now()
+	if err := kernels.ConvIm2colGemmInto(in, packed, out, cfg, scratch); err != nil {
+		return kernels.ConvAlgDirect, times, err
+	}
+	times[1] = time.Since(start)
+
+	if times[1] < times[0] {
+		return kernels.ConvAlgGemm, times, nil
+	}
+	return kernels.ConvAlgDirect, times, nil
+}

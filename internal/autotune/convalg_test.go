@@ -1,0 +1,65 @@
+package autotune
+
+import (
+	"testing"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// TestSelectConvAlgorithm pins the two regimes the paper's Section IV.A
+// argument predicts: a VGG-style mid-network layer (deep reduction, large
+// output matrix) goes to im2col+GEMM, a single small image (nothing to
+// amortise the unroll against) stays direct.
+func TestSelectConvAlgorithm(t *testing.T) {
+	vgg := kernels.ConvConfig{N: 32, C: 64, H: 56, W: 56, K: 128, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	if got := SelectConvAlgorithm(vgg); got != kernels.ConvAlgGemm {
+		t.Errorf("VGG-style shape %v selected %v, want %v", vgg, got, kernels.ConvAlgGemm)
+	}
+	small := kernels.ConvConfig{N: 1, C: 3, H: 12, W: 12, K: 4, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	if got := SelectConvAlgorithm(small); got != kernels.ConvAlgDirect {
+		t.Errorf("1-image small shape %v selected %v, want %v", small, got, kernels.ConvAlgDirect)
+	}
+
+	// A deep reduction alone is not enough: one tiny image keeps the
+	// arithmetic volume under the floor.
+	deepTiny := kernels.ConvConfig{N: 1, C: 64, H: 8, W: 8, K: 32, FH: 3, FW: 3}
+	if got := SelectConvAlgorithm(deepTiny); got != kernels.ConvAlgDirect {
+		t.Errorf("deep-but-tiny shape selected %v, want direct", got)
+	}
+	// A deep reduction over a small batch of small maps (the AlexNet conv3-5
+	// regime at serving batch sizes) clears the volume floor and goes to GEMM.
+	deepSmallBatch := kernels.ConvConfig{N: 4, C: 256, H: 13, W: 13, K: 384, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	if got := SelectConvAlgorithm(deepSmallBatch); got != kernels.ConvAlgGemm {
+		t.Errorf("deep small-batch shape selected %v, want gemm", got)
+	}
+	// A huge batch of single-channel 1x1-reduction maps stays direct too
+	// (the LeNet first-layer regime where CHWN wins in Fig. 3).
+	shallow := kernels.ConvConfig{N: 128, C: 1, H: 28, W: 28, K: 16, FH: 5, FW: 5, PadH: 2, PadW: 2}
+	if got := SelectConvAlgorithm(shallow); got != kernels.ConvAlgDirect {
+		t.Errorf("shallow-reduction shape selected %v, want direct", got)
+	}
+	// Invalid configurations fall back to direct instead of panicking.
+	if got := SelectConvAlgorithm(kernels.ConvConfig{}); got != kernels.ConvAlgDirect {
+		t.Errorf("invalid config selected %v, want direct", got)
+	}
+}
+
+// TestProbeConvAlgorithm runs the measured probe on a small layer and checks
+// it returns a decision backed by two positive timings.
+func TestProbeConvAlgorithm(t *testing.T) {
+	cfg := kernels.ConvConfig{N: 4, C: 8, H: 10, W: 10, K: 8, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	alg, times, err := ProbeConvAlgorithm(cfg, tensor.NCHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg != kernels.ConvAlgDirect && alg != kernels.ConvAlgGemm {
+		t.Errorf("probe returned unknown algorithm %v", alg)
+	}
+	if times[0] <= 0 || times[1] <= 0 {
+		t.Errorf("probe timings must be positive, got %v", times)
+	}
+	if _, _, err := ProbeConvAlgorithm(kernels.ConvConfig{}, tensor.NCHW); err == nil {
+		t.Error("invalid config must be rejected")
+	}
+}

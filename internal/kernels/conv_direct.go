@@ -55,43 +55,51 @@ func ConvDirectInto(in, filters, out *tensor.Tensor, cfg ConvConfig) error {
 	outH, outW := cfg.OutH(), cfg.OutW()
 
 	// Work is distributed by an atomic (n,k) plane counter rather than a job
-	// channel so the hot path performs no allocation.
+	// channel so the hot path performs no allocation; a single-worker run
+	// stays inline and allocation free.
 	var next atomic.Int64
 	planes := int64(cfg.N * cfg.K)
+	plane := func() {
+		for {
+			p := next.Add(1) - 1
+			if p >= planes {
+				return
+			}
+			n, k := int(p)/cfg.K, int(p)%cfg.K
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var acc float64
+					for c := 0; c < cfg.C; c++ {
+						for fh := 0; fh < cfg.FH; fh++ {
+							ih := oh*cfg.StrideH - cfg.PadH + fh
+							if ih < 0 || ih >= cfg.H {
+								continue
+							}
+							for fw := 0; fw < cfg.FW; fw++ {
+								iw := ow*cfg.StrideW - cfg.PadW + fw
+								if iw < 0 || iw >= cfg.W {
+									continue
+								}
+								acc += float64(in.At(n, c, ih, iw)) * float64(filters.At(k, c, fh, fw))
+							}
+						}
+					}
+					out.Set(n, k, oh, ow, float32(acc))
+				}
+			}
+		}
+	}
 	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 {
+		plane()
+		return nil
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				p := next.Add(1) - 1
-				if p >= planes {
-					return
-				}
-				n, k := int(p)/cfg.K, int(p)%cfg.K
-				for oh := 0; oh < outH; oh++ {
-					for ow := 0; ow < outW; ow++ {
-						var acc float64
-						for c := 0; c < cfg.C; c++ {
-							for fh := 0; fh < cfg.FH; fh++ {
-								ih := oh*cfg.StrideH - cfg.PadH + fh
-								if ih < 0 || ih >= cfg.H {
-									continue
-								}
-								for fw := 0; fw < cfg.FW; fw++ {
-									iw := ow*cfg.StrideW - cfg.PadW + fw
-									if iw < 0 || iw >= cfg.W {
-										continue
-									}
-									acc += float64(in.At(n, c, ih, iw)) * float64(filters.At(k, c, fh, fw))
-								}
-							}
-						}
-						out.Set(n, k, oh, ow, float32(acc))
-					}
-				}
-			}
+			plane()
 		}()
 	}
 	wg.Wait()

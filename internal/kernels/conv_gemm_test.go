@@ -1,0 +1,168 @@
+package kernels
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"memcnn/internal/tensor"
+)
+
+// poison fills a slice with NaN so any read-before-write in a workspace user
+// surfaces as a NaN in its output.
+func poison(s []float32) {
+	nan := float32(math.NaN())
+	for i := range s {
+		s[i] = nan
+	}
+}
+
+// TestPackConvFilters checks the packed operand against the logical
+// (k, c, fh, fw) flattening order.
+func TestPackConvFilters(t *testing.T) {
+	cfg := ConvConfig{N: 1, C: 2, H: 5, W: 5, K: 3, FH: 3, FW: 3}
+	filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 7)
+	packed, err := PackConvFilters(filters, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kdim := cfg.ReductionLength()
+	if len(packed) != cfg.K*kdim {
+		t.Fatalf("packed length %d, want %d", len(packed), cfg.K*kdim)
+	}
+	for k := 0; k < cfg.K; k++ {
+		idx := k * kdim
+		for c := 0; c < cfg.C; c++ {
+			for fh := 0; fh < cfg.FH; fh++ {
+				for fw := 0; fw < cfg.FW; fw++ {
+					if packed[idx] != filters.At(k, c, fh, fw) {
+						t.Fatalf("packed[%d] = %v, want filters(%d,%d,%d,%d) = %v",
+							idx, packed[idx], k, c, fh, fw, filters.At(k, c, fh, fw))
+					}
+					idx++
+				}
+			}
+		}
+	}
+	bad := tensor.Filters(cfg.K, cfg.C+1, cfg.FH, cfg.FW, 7)
+	if _, err := PackConvFilters(bad, cfg); err == nil {
+		t.Error("mismatched filter bank must be rejected")
+	}
+}
+
+// TestConvGemmWorkspaceElems checks the NCHW direct-write optimisation: only
+// non-NCHW outputs need the product staging area.
+func TestConvGemmWorkspaceElems(t *testing.T) {
+	cfg := ConvConfig{N: 2, C: 3, H: 8, W: 8, K: 4, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	ohw := cfg.OutH() * cfg.OutW()
+	nchw := ConvGemmWorkspaceElems(cfg, tensor.NCHW)
+	chwn := ConvGemmWorkspaceElems(cfg, tensor.CHWN)
+	if nchw != cfg.ReductionLength()*ohw {
+		t.Errorf("NCHW workspace = %d, want %d", nchw, cfg.ReductionLength()*ohw)
+	}
+	if chwn != nchw+cfg.K*ohw {
+		t.Errorf("CHWN workspace = %d, want %d", chwn, nchw+cfg.K*ohw)
+	}
+}
+
+// TestConvIm2colGemmIntoMatchesFunctional cross-checks the allocation-free
+// path against the functional reference (bit equality — they must share the
+// accumulation order) and against the direct convolution (tolerance), for
+// every small case in both runtime layouts and with a poisoned workspace.
+func TestConvIm2colGemmIntoMatchesFunctional(t *testing.T) {
+	for _, cfg := range smallConvCases {
+		filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 2)
+		packed, err := PackConvFilters(filters, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inLay := range []tensor.Layout{tensor.NCHW, tensor.CHWN} {
+			for _, outLay := range []tensor.Layout{tensor.NCHW, tensor.CHWN} {
+				in := tensor.Random(cfg.InputShape(), inLay, 1)
+				want, err := ConvIm2colGemm(in, filters, cfg, outLay)
+				if err != nil {
+					t.Fatalf("%v: functional: %v", cfg, err)
+				}
+				out := tensor.New(cfg.OutputShape(), outLay)
+				poison(out.Data)
+				scratch := make([]float32, ConvGemmWorkspaceElems(cfg, outLay))
+				poison(scratch)
+				if err := ConvIm2colGemmInto(in, packed, out, cfg, scratch); err != nil {
+					t.Fatalf("%v: into: %v", cfg, err)
+				}
+				for i := range want.Data {
+					if out.Data[i] != want.Data[i] {
+						t.Fatalf("%v %v->%v: element %d = %v, want %v",
+							cfg, inLay, outLay, i, out.Data[i], want.Data[i])
+					}
+				}
+				direct, err := ConvDirect(in, filters, cfg, outLay)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !tensor.RelClose(direct, out, 1e-4, 1e-4) {
+					t.Errorf("%v %v->%v: GEMM-into disagrees with direct convolution", cfg, inLay, outLay)
+				}
+			}
+		}
+	}
+}
+
+// TestConvIm2colGemmIntoValidation covers the error paths of the production
+// entry point.
+func TestConvIm2colGemmIntoValidation(t *testing.T) {
+	cfg := ConvConfig{N: 2, C: 2, H: 6, W: 6, K: 2, FH: 3, FW: 3}
+	in := tensor.Random(cfg.InputShape(), tensor.NCHW, 1)
+	filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 1)
+	packed, err := PackConvFilters(filters, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tensor.New(cfg.OutputShape(), tensor.NCHW)
+	scratch := make([]float32, ConvGemmWorkspaceElems(cfg, tensor.NCHW))
+
+	badIn := tensor.Random(tensor.Shape{N: 2, C: 2, H: 5, W: 6}, tensor.NCHW, 1)
+	if err := ConvIm2colGemmInto(badIn, packed, out, cfg, scratch); err == nil {
+		t.Error("mismatched input accepted")
+	}
+	badOut := tensor.New(tensor.Shape{N: 2, C: 3, H: 4, W: 4}, tensor.NCHW)
+	if err := ConvIm2colGemmInto(in, packed, badOut, cfg, scratch); err == nil {
+		t.Error("mismatched output accepted")
+	}
+	if err := ConvIm2colGemmInto(in, packed[:len(packed)-1], out, cfg, scratch); err == nil {
+		t.Error("short packed filters accepted")
+	}
+	if err := ConvIm2colGemmInto(in, packed, out, cfg, scratch[:len(scratch)-1]); err == nil {
+		t.Error("short scratch accepted")
+	}
+	badCfg := cfg
+	badCfg.K = 0
+	if err := ConvIm2colGemmInto(in, packed, out, badCfg, scratch); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestConvIm2colGemmDeterministicAcrossWorkers pins the bit-stability
+// contract the golden suite relies on: the same convolution computed with one
+// worker and with all workers must agree exactly.
+func TestConvIm2colGemmDeterministicAcrossWorkers(t *testing.T) {
+	cfg := ConvConfig{N: 3, C: 5, H: 13, W: 11, K: 7, FH: 3, FW: 3, PadH: 1, PadW: 1, StrideH: 2, StrideW: 2}
+	in := tensor.Random(cfg.InputShape(), tensor.CHWN, 5)
+	filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 6)
+
+	parallel, err := ConvIm2colGemm(in, filters, cfg, tensor.NCHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := ConvIm2colGemm(in, filters, cfg, tensor.NCHW)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parallel.Data {
+		if parallel.Data[i] != serial.Data[i] {
+			t.Fatalf("element %d differs across worker counts: %v vs %v", i, parallel.Data[i], serial.Data[i])
+		}
+	}
+}

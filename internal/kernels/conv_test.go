@@ -19,6 +19,10 @@ var smallConvCases = []ConvConfig{
 	{N: 2, C: 2, H: 8, W: 8, K: 2, FH: 1, FW: 1},
 	{N: 2, C: 3, H: 8, W: 8, K: 4, FH: 3, FW: 3, PadH: 1, PadW: 1},
 	{N: 4, C: 2, H: 6, W: 6, K: 3, FH: 3, FW: 3, StrideH: 3, StrideW: 3},
+	// Filters wider than the unpadded input with stride > 1: some taps have
+	// no valid column at all (regression for the im2col fast-path bounds).
+	{N: 1, C: 1, H: 5, W: 5, K: 1, FH: 9, FW: 9, PadH: 3, PadW: 3, StrideH: 2, StrideW: 2},
+	{N: 2, C: 2, H: 5, W: 5, K: 2, FH: 13, FW: 13, PadH: 4, PadW: 4, StrideH: 2, StrideW: 2},
 }
 
 func TestConvDirectHandComputed(t *testing.T) {

@@ -3,6 +3,7 @@ package kernels
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -67,6 +68,74 @@ func TestGemmIdentity(t *testing.T) {
 	for i := range b {
 		if got[i] != b[i] {
 			t.Fatalf("identity GEMM altered element %d", i)
+		}
+	}
+}
+
+// TestGemmIntoMatchesGemm checks the allocation-free entry point against the
+// allocating wrapper (bit equality by construction) and its zero-on-entry
+// contract on a dirty destination.
+func TestGemmIntoMatchesGemm(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, c := range []struct{ m, n, k int }{
+		{1, 1, 1}, {4, 4, 4}, {5, 6, 7}, {64, 64, 300}, {13, 257, 31}, {3, 2, 513},
+	} {
+		a := make([]float32, c.m*c.k)
+		b := make([]float32, c.k*c.n)
+		for i := range a {
+			a[i] = float32(r.NormFloat64())
+		}
+		for i := range b {
+			b[i] = float32(r.NormFloat64())
+		}
+		want, err := Gemm(a, b, c.m, c.n, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float32, c.m*c.n)
+		for i := range got {
+			got[i] = float32(math.NaN()) // GemmInto must zero the destination
+		}
+		if err := GemmInto(a, b, got, c.m, c.n, c.k); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: C[%d] = %v, want %v", c, i, got[i], want[i])
+			}
+		}
+	}
+	if err := GemmInto(make([]float32, 4), make([]float32, 4), make([]float32, 3), 2, 2, 2); err == nil {
+		t.Error("wrong C size must be rejected")
+	}
+}
+
+// TestGemmDeterministicAcrossWorkers pins the accumulation-order contract:
+// the panel split must not change any output bit.
+func TestGemmDeterministicAcrossWorkers(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	m, n, k := 37, 53, 419 // deliberately quad-unaligned
+	a := make([]float32, m*k)
+	b := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(r.NormFloat64())
+	}
+	for i := range b {
+		b[i] = float32(r.NormFloat64())
+	}
+	parallel, err := Gemm(a, b, m, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, err := Gemm(a, b, m, n, k)
+	runtime.GOMAXPROCS(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parallel {
+		if parallel[i] != serial[i] {
+			t.Fatalf("C[%d] differs across worker counts: %v vs %v", i, parallel[i], serial[i])
 		}
 	}
 }

@@ -78,6 +78,99 @@ func Im2col(in *tensor.Tensor, cfg ConvConfig) ([]float32, error) {
 	return out, nil
 }
 
+// im2colImage unrolls one image of the batch into dst, a row-major
+// (C·FH·FW) × (OutH·OutW) matrix, reading the input through explicit strides
+// so any layout is supported without per-element bounds checks.  base is the
+// linear offset of the image's first element; every dst element is written
+// (out-of-range taps with zero), so dst may hold garbage on entry.  The rows
+// are computed goroutine-parallel; each dst element is written exactly once,
+// and the values do not depend on the worker split.
+func im2colImage(data []float32, base, sc, sh, sw int, cfg ConvConfig, dst []float32) {
+	rows := cfg.C * cfg.FH * cfg.FW
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		im2colRows(data, base, sc, sh, sw, cfg, dst, 0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * rows / workers
+		hi := (wkr + 1) * rows / workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			im2colRows(data, base, sc, sh, sw, cfg, dst, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// im2colRows fills rows [lo,hi) of the single-image unroll matrix.
+func im2colRows(data []float32, base, sc, sh, sw int, cfg ConvConfig, dst []float32, lo, hi int) {
+	outH, outW := cfg.OutH(), cfg.OutW()
+	ohw := outH * outW
+	for row := lo; row < hi; row++ {
+		c := row / (cfg.FH * cfg.FW)
+		rem := row % (cfg.FH * cfg.FW)
+		fh := rem / cfg.FW
+		fw := rem % cfg.FW
+		rowDst := dst[row*ohw : (row+1)*ohw]
+		for oh := 0; oh < outH; oh++ {
+			seg := rowDst[oh*outW : (oh+1)*outW]
+			ih := oh*cfg.StrideH - cfg.PadH + fh
+			if ih < 0 || ih >= cfg.H {
+				for i := range seg {
+					seg[i] = 0
+				}
+				continue
+			}
+			// Valid ow range: 0 <= ow*StrideW - PadW + fw < W.  A wide filter
+			// tap can leave no valid column at all (fw beyond W+PadW-1, or
+			// every in-range ow swallowed by the left padding), so both
+			// bounds are clamped before any indexing.
+			owLo := 0
+			if over := cfg.PadW - fw; over > 0 {
+				owLo = (over + cfg.StrideW - 1) / cfg.StrideW
+			}
+			owHi := 0
+			if num := cfg.W - 1 + cfg.PadW - fw; num >= 0 {
+				owHi = num/cfg.StrideW + 1
+				if owHi > outW {
+					owHi = outW
+				}
+			}
+			if owLo >= owHi {
+				for i := range seg {
+					seg[i] = 0
+				}
+				continue
+			}
+			for i := 0; i < owLo; i++ {
+				seg[i] = 0
+			}
+			for i := owHi; i < outW; i++ {
+				seg[i] = 0
+			}
+			src := base + c*sc + ih*sh + (owLo*cfg.StrideW-cfg.PadW+fw)*sw
+			if sw == 1 && cfg.StrideW == 1 {
+				copy(seg[owLo:owHi], data[src:src+owHi-owLo])
+				continue
+			}
+			step := cfg.StrideW * sw
+			for ow := owLo; ow < owHi; ow++ {
+				seg[ow] = data[src]
+				src += step
+			}
+		}
+	}
+}
+
 // Im2colCost models the GPU im2col kernel: it reads the input once (the
 // source reads along W are coalesced in NCHW) and writes the expanded matrix,
 // which is FH*FW/(SH*SW) times larger than the input.  The expanded matrix is

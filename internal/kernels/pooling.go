@@ -47,26 +47,35 @@ func PoolInto(in, out *tensor.Tensor, cfg PoolConfig) error {
 	outH, outW := cfg.OutH(), cfg.OutW()
 
 	// Work is distributed by an atomic (n,c) plane counter rather than a job
-	// channel so the hot path performs no allocation.
+	// channel so the hot path performs no allocation; a single-worker run
+	// stays inline and allocation free.
 	var next atomic.Int64
 	planes := int64(cfg.N * cfg.C)
+	plane := func() {
+		for {
+			p := next.Add(1) - 1
+			if p >= planes {
+				return
+			}
+			n, c := int(p)/cfg.C, int(p)%cfg.C
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					out.Set(n, c, oh, ow, poolWindow(in, cfg, n, c, oh, ow))
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 {
+		plane()
+		return nil
+	}
 	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
-				p := next.Add(1) - 1
-				if p >= planes {
-					return
-				}
-				n, c := int(p)/cfg.C, int(p)%cfg.C
-				for oh := 0; oh < outH; oh++ {
-					for ow := 0; ow < outW; ow++ {
-						out.Set(n, c, oh, ow, poolWindow(in, cfg, n, c, oh, ow))
-					}
-				}
-			}
+			plane()
 		}()
 	}
 	wg.Wait()

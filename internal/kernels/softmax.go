@@ -23,13 +23,36 @@ func Softmax(in []float32, cfg SoftmaxConfig) ([]float32, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(in) != cfg.Elems() {
-		return nil, fmt.Errorf("kernels: softmax input has %d elements, want %d", len(in), cfg.Elems())
-	}
 	out := make([]float32, len(in))
+	if err := SoftmaxInto(out, in, cfg); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SoftmaxInto computes the row-wise softmax of src into the caller-provided
+// dst (both N×Classes row-major) without allocating.  dst may alias src: each
+// row is read fully for its maximum before anything is written.
+func SoftmaxInto(dst, src []float32, cfg SoftmaxConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(src) != cfg.Elems() {
+		return fmt.Errorf("kernels: softmax input has %d elements, want %d", len(src), cfg.Elems())
+	}
+	if len(dst) != cfg.Elems() {
+		return fmt.Errorf("kernels: softmax output has %d elements, want %d", len(dst), cfg.Elems())
+	}
+	in, out := src, dst
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.N {
 		workers = cfg.N
+	}
+	if workers <= 1 {
+		for n := 0; n < cfg.N; n++ {
+			softmaxRow(in[n*cfg.Classes:(n+1)*cfg.Classes], out[n*cfg.Classes:(n+1)*cfg.Classes])
+		}
+		return nil
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -49,9 +72,11 @@ func Softmax(in []float32, cfg SoftmaxConfig) ([]float32, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, nil
+	return nil
 }
 
+// softmaxRow computes one row; dst may alias row (the maximum is taken before
+// any write, and dst[i] is written only after row[i] is read).
 func softmaxRow(row, dst []float32) {
 	maxV := row[0]
 	for _, v := range row {

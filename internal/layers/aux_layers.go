@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"memcnn/internal/gpusim"
 	"memcnn/internal/kernels"
@@ -59,27 +60,51 @@ func (s *Softmax) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
-// ForwardInto implements IntoForwarder.
+// ForwardInto implements IntoForwarder, allocating the logit scratch itself.
 func (s *Softmax) ForwardInto(in, dst *tensor.Tensor) error {
+	return s.ForwardIntoWorkspace(in, dst, make([]float32, s.WorkspaceElems()))
+}
+
+// WorkspaceElems implements WorkspaceForwarder: staging room for the logit
+// and probability matrices (each skipped when the corresponding tensor is
+// already in the canonical NCHW linearisation).
+func (s *Softmax) WorkspaceElems() int { return 2 * s.Cfg.Elems() }
+
+// ForwardIntoWorkspace implements WorkspaceForwarder.
+func (s *Softmax) ForwardIntoWorkspace(in, dst *tensor.Tensor, scratch []float32) error {
 	if in.Shape != s.InputShape() {
 		return fmt.Errorf("layers: %s: input shape %v, want %v", s.LayerName, in.Shape, s.InputShape())
 	}
 	if dst.Shape != s.OutputShape() {
 		return fmt.Errorf("layers: %s: output shape %v, want %v", s.LayerName, dst.Shape, s.OutputShape())
 	}
-	logits := make([]float32, s.Cfg.Elems())
-	for n := 0; n < s.Cfg.N; n++ {
-		for c := 0; c < s.Cfg.Classes; c++ {
-			logits[n*s.Cfg.Classes+c] = in.At(n, c, 0, 0)
+	if len(scratch) < s.WorkspaceElems() {
+		return fmt.Errorf("layers: %s: scratch has %d elements, want at least %d", s.LayerName, len(scratch), s.WorkspaceElems())
+	}
+	elems := s.Cfg.Elems()
+	// With N×C×1×1 shapes the NCHW backing slice is the row-major logit
+	// matrix itself; other layouts stage through the scratch.
+	logits := in.Data
+	if in.Layout != tensor.NCHW {
+		logits = scratch[:elems]
+		for n := 0; n < s.Cfg.N; n++ {
+			for c := 0; c < s.Cfg.Classes; c++ {
+				logits[n*s.Cfg.Classes+c] = in.At(n, c, 0, 0)
+			}
 		}
 	}
-	probs, err := kernels.Softmax(logits, s.Cfg)
-	if err != nil {
+	probs := dst.Data
+	if dst.Layout != tensor.NCHW {
+		probs = scratch[elems : 2*elems]
+	}
+	if err := kernels.SoftmaxInto(probs, logits, s.Cfg); err != nil {
 		return err
 	}
-	for n := 0; n < s.Cfg.N; n++ {
-		for c := 0; c < s.Cfg.Classes; c++ {
-			dst.Set(n, c, 0, 0, probs[n*s.Cfg.Classes+c])
+	if dst.Layout != tensor.NCHW {
+		for n := 0; n < s.Cfg.N; n++ {
+			for c := 0; c < s.Cfg.Classes; c++ {
+				dst.Set(n, c, 0, 0, probs[n*s.Cfg.Classes+c])
+			}
 		}
 	}
 	return nil
@@ -96,7 +121,8 @@ type FullyConnected struct {
 	OutDim    int
 	Seed      uint64
 
-	weights []float32
+	weightsOnce sync.Once
+	weights     []float32
 }
 
 // NewFullyConnected builds a dense layer.
@@ -136,12 +162,13 @@ func (f *FullyConnected) Cost(d *gpusim.Device, l tensor.Layout, _ CostOptions) 
 }
 
 // Weights returns (generating on first use) the deterministic weight matrix,
-// row-major OutDim×InDim.
+// row-major OutDim×InDim.  Generation is once-guarded so concurrent executor
+// instances can share the layer.
 func (f *FullyConnected) Weights() []float32 {
-	if f.weights == nil {
+	f.weightsOnce.Do(func() {
 		t := tensor.Random(tensor.Shape{N: f.OutDim, C: f.InDim, H: 1, W: 1}, tensor.NCHW, f.Seed)
 		f.weights = t.Data
-	}
+	})
 	return f.weights
 }
 
@@ -154,8 +181,19 @@ func (f *FullyConnected) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
-// ForwardInto implements IntoForwarder.
+// ForwardInto implements IntoForwarder, allocating the flatten scratch
+// itself.
 func (f *FullyConnected) ForwardInto(in, dst *tensor.Tensor) error {
+	return f.ForwardIntoWorkspace(in, dst, make([]float32, f.WorkspaceElems()))
+}
+
+// WorkspaceElems implements WorkspaceForwarder: staging room for the
+// flattened feature matrix (skipped when the input is already in the
+// canonical NCHW linearisation).
+func (f *FullyConnected) WorkspaceElems() int { return f.Batch * f.InDim }
+
+// ForwardIntoWorkspace implements WorkspaceForwarder.
+func (f *FullyConnected) ForwardIntoWorkspace(in, dst *tensor.Tensor, scratch []float32) error {
 	want := f.InputShape()
 	if in.Shape.Elems() != want.Elems() || in.Shape.N != f.Batch {
 		return fmt.Errorf("layers: %s: input shape %v incompatible with %v", f.LayerName, in.Shape, want)
@@ -163,15 +201,22 @@ func (f *FullyConnected) ForwardInto(in, dst *tensor.Tensor) error {
 	if dst.Shape != f.OutputShape() {
 		return fmt.Errorf("layers: %s: output shape %v, want %v", f.LayerName, dst.Shape, f.OutputShape())
 	}
-	// Flatten each image's features in canonical (C,H,W) order.
-	flat := make([]float32, f.Batch*f.InDim)
-	idx := 0
-	for n := 0; n < in.Shape.N; n++ {
-		for c := 0; c < in.Shape.C; c++ {
-			for h := 0; h < in.Shape.H; h++ {
-				for w := 0; w < in.Shape.W; w++ {
-					flat[idx] = in.At(n, c, h, w)
-					idx++
+	if len(scratch) < f.WorkspaceElems() {
+		return fmt.Errorf("layers: %s: scratch has %d elements, want at least %d", f.LayerName, len(scratch), f.WorkspaceElems())
+	}
+	// Flatten each image's features in canonical (C,H,W) order.  An NCHW
+	// backing slice already is that flattening, so no staging copy is needed.
+	flat := in.Data
+	if in.Layout != tensor.NCHW {
+		flat = scratch[:f.Batch*f.InDim]
+		idx := 0
+		for n := 0; n < in.Shape.N; n++ {
+			for c := 0; c < in.Shape.C; c++ {
+				for h := 0; h < in.Shape.H; h++ {
+					for w := 0; w < in.Shape.W; w++ {
+						flat[idx] = in.At(n, c, h, w)
+						idx++
+					}
 				}
 			}
 		}

@@ -12,6 +12,7 @@ package layers
 
 import (
 	"fmt"
+	"sync"
 
 	"memcnn/internal/gpusim"
 	"memcnn/internal/kernels"
@@ -127,6 +128,46 @@ type IntoForwarder interface {
 	ForwardInto(in, dst *tensor.Tensor) error
 }
 
+// WorkspaceForwarder is an optional extension of IntoForwarder implemented by
+// layers whose forward pass needs scratch memory (the fully-connected flatten
+// staging, the softmax logit matrix).  The planned-execution engine sizes the
+// scratch at compile time and packs it into the arena as a buffer live only
+// during the layer's op, so steady-state inference performs no heap
+// allocation; the plain ForwardInto remains the standalone path and allocates
+// the scratch itself.
+type WorkspaceForwarder interface {
+	IntoForwarder
+	// WorkspaceElems returns the scratch size ForwardIntoWorkspace needs, in
+	// float32 elements.
+	WorkspaceElems() int
+	// ForwardIntoWorkspace is ForwardInto with caller-provided scratch of at
+	// least WorkspaceElems() elements.  The scratch contents are unspecified
+	// on entry and trashed on return; the values written to dst are
+	// bit-identical to ForwardInto's.
+	ForwardIntoWorkspace(in, dst *tensor.Tensor, scratch []float32) error
+}
+
+// GemmForwarder is implemented by convolution layers that can execute the
+// im2col+GEMM strategy (Section II.B) into caller-provided output and
+// workspace.  The planned-execution engine selects direct vs GEMM per layer
+// shape (internal/autotune), pre-packs the filter bank once at compile time
+// via PackedFilters, plans the per-run workspace into its arena, and calls
+// ForwardIntoGemm for ops whose recorded algorithm is kernels.ConvAlgGemm.
+type GemmForwarder interface {
+	// Config returns the convolution configuration the algorithm selection
+	// heuristics operate on.
+	Config() kernels.ConvConfig
+	// PackedFilters returns the flat K×(C·FH·FW) GEMM operand, packing it on
+	// first use.
+	PackedFilters() []float32
+	// GemmWorkspaceElems returns the scratch ForwardIntoGemm needs for the
+	// given output layout, in float32 elements.
+	GemmWorkspaceElems(outLayout tensor.Layout) int
+	// ForwardIntoGemm runs the layer through the im2col+GEMM path, using the
+	// caller-provided scratch (contents unspecified on entry).
+	ForwardIntoGemm(in, dst *tensor.Tensor, scratch []float32) error
+}
+
 // Conv is a convolutional layer.
 type Conv struct {
 	LayerName string
@@ -134,7 +175,10 @@ type Conv struct {
 	// Seed generates the deterministic filter bank used by Forward.
 	Seed uint64
 
-	filters *tensor.Tensor
+	filtersOnce sync.Once
+	filters     *tensor.Tensor
+	packOnce    sync.Once
+	packed      []float32
 }
 
 // NewConv builds a convolutional layer.
@@ -161,12 +205,41 @@ func (c *Conv) SupportsLayout(l tensor.Layout) bool {
 }
 
 // Filters returns (generating on first use) the layer's deterministic filter
-// bank.
+// bank.  Generation is once-guarded so concurrent executor instances can
+// share the layer.
 func (c *Conv) Filters() *tensor.Tensor {
-	if c.filters == nil {
+	c.filtersOnce.Do(func() {
 		c.filters = tensor.Filters(c.Cfg.K, c.Cfg.C, c.Cfg.FH, c.Cfg.FW, c.Seed)
-	}
+	})
 	return c.filters
+}
+
+// Config implements GemmForwarder.
+func (c *Conv) Config() kernels.ConvConfig { return c.Cfg }
+
+// PackedFilters implements GemmForwarder: the filter bank flattened once into
+// the K×(C·FH·FW) GEMM operand.
+func (c *Conv) PackedFilters() []float32 {
+	c.packOnce.Do(func() {
+		packed, err := kernels.PackConvFilters(c.Filters(), c.Cfg)
+		if err != nil {
+			// NewConv validated the config and Filters matches it by
+			// construction.
+			panic("layers: " + err.Error())
+		}
+		c.packed = packed
+	})
+	return c.packed
+}
+
+// GemmWorkspaceElems implements GemmForwarder.
+func (c *Conv) GemmWorkspaceElems(outLayout tensor.Layout) int {
+	return kernels.ConvGemmWorkspaceElems(c.Cfg, outLayout)
+}
+
+// ForwardIntoGemm implements GemmForwarder.
+func (c *Conv) ForwardIntoGemm(in, dst *tensor.Tensor, scratch []float32) error {
+	return kernels.ConvIm2colGemmInto(in, c.PackedFilters(), dst, c.Cfg, scratch)
 }
 
 // Cost implements Layer.

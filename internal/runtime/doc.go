@@ -9,15 +9,35 @@
 //	compile (graph.go)    — lower the layer stack into an op list: one op per
 //	                        layer, plus the plan's layout-transform ops and
 //	                        zero-copy reshape views at flattening boundaries.
+//	                        With Options.ConvAlgorithms each convolution op
+//	                        additionally records its execution strategy —
+//	                        direct or im2col+GEMM, picked per layer shape by
+//	                        internal/autotune's merged-matrix heuristic or a
+//	                        measured probe — the filter bank is pre-packed
+//	                        once into the flat GEMM operand, and every kernel
+//	                        workspace (GEMM unroll matrix, fully-connected
+//	                        flatten staging, softmax logits) becomes an
+//	                        op-local scratch buffer.
 //	memory plan (memplan.go) — liveness analysis over buffer IDs followed by
 //	                        greedy best-fit offset assignment into one arena;
-//	                        the plan reports its peak footprint against the
+//	                        scratch buffers are live only during their op, so
+//	                        the packer overlays them with activation storage.
+//	                        The plan reports its peak footprint against the
 //	                        naive all-buffers-live total, making the paper's
 //	                        memory-efficiency story measurable.
 //	execute (executor.go, pool.go) — run the compiled program on arena-backed
 //	                        tensor views recycled through a sync.Pool, using
-//	                        layers.IntoForwarder where available and falling
-//	                        back to Forward plus a copy elsewhere.
+//	                        the recorded convolution algorithm,
+//	                        layers.WorkspaceForwarder/IntoForwarder where
+//	                        available, and falling back to Forward plus a
+//	                        copy elsewhere.  Steady-state runs allocate no
+//	                        tensors or scratch slices.
+//
+// Golden bit-equality holds per algorithm: direct-only programs reproduce the
+// naive Network.Forward exactly, while algorithm-selected programs reproduce
+// Program.ReferenceForward (the functional forward mirroring the recorded
+// per-layer choices); every kernel fixes its accumulation order so results do
+// not depend on layout, batching or worker count.
 //
 // On top of the executor, server.go provides a dynamic micro-batching
 // front-end: many concurrent single-image requests coalesce into planned

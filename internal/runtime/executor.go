@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"memcnn/internal/kernels"
 	"memcnn/internal/layers"
 	"memcnn/internal/tensor"
 )
@@ -35,10 +36,11 @@ func (e *Executor) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
 // RunInto executes the program on one input batch, writing the result into
 // dst (which must have the program's output shape; any layout).  The input is
 // staged into the arena — converting layout if needed — the ops run over
-// arena-backed views, and the final buffer is converted into dst.  No
-// activation tensors are allocated along the way; the remaining steady-state
-// allocations are the small flatten/logit scratch slices inside the
-// fully-connected and softmax ForwardInto implementations (see ROADMAP.md).
+// arena-backed views, and the final buffer is converted into dst.  No tensors
+// or scratch slices are allocated along the way: activations, convolution
+// GEMM workspaces and the fully-connected/softmax staging buffers all live in
+// the arena, so the only steady-state heap traffic left is the short-lived
+// goroutine fan-out inside the parallel kernels.
 func (e *Executor) RunInto(in, dst *tensor.Tensor) error {
 	if in.Shape != e.prog.InputShape() {
 		return fmt.Errorf("runtime: %s input shape %v, want %v", e.prog.Net.Name, in.Shape, e.prog.InputShape())
@@ -73,7 +75,11 @@ func (inst *Instance) run(in, dst *tensor.Tensor) error {
 				return fmt.Errorf("runtime: %s: %w", op.Name, err)
 			}
 		case OpLayer:
-			if err := runLayer(op, src, out); err != nil {
+			var scratch []float32
+			if op.Scratch != NoBuffer {
+				scratch = inst.bufs[op.Scratch].Data
+			}
+			if err := runLayer(op, src, out, scratch); err != nil {
 				return fmt.Errorf("runtime: layer %q: %w", op.Name, err)
 			}
 		default:
@@ -86,10 +92,22 @@ func (inst *Instance) run(in, dst *tensor.Tensor) error {
 	return nil
 }
 
-// runLayer executes one layer op: directly into the planned buffer when the
-// layer supports IntoForwarder, otherwise through the layer's allocating
-// Forward followed by a copy into the arena.
-func runLayer(op Op, in, out *tensor.Tensor) error {
+// runLayer executes one layer op: through the compiled convolution algorithm
+// when the op selected the GEMM path, through ForwardIntoWorkspace when the
+// compiler planned arena scratch for the layer, directly into the planned
+// buffer when the layer supports IntoForwarder, and otherwise through the
+// layer's allocating Forward followed by a copy into the arena.
+func runLayer(op Op, in, out *tensor.Tensor, scratch []float32) error {
+	if op.Alg == kernels.ConvAlgGemm {
+		gf, ok := op.Layer.(layers.GemmForwarder)
+		if !ok {
+			return fmt.Errorf("layer does not implement the selected GEMM algorithm")
+		}
+		return gf.ForwardIntoGemm(in, out, scratch)
+	}
+	if wf, ok := op.Layer.(layers.WorkspaceForwarder); ok && scratch != nil {
+		return wf.ForwardIntoWorkspace(in, out, scratch)
+	}
 	if fi, ok := op.Layer.(layers.IntoForwarder); ok {
 		return fi.ForwardInto(in, out)
 	}

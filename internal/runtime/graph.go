@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 
+	"memcnn/internal/autotune"
+	"memcnn/internal/kernels"
 	"memcnn/internal/layers"
 	"memcnn/internal/network"
 	"memcnn/internal/tensor"
@@ -25,6 +27,12 @@ type Buffer struct {
 	// tensor.CanReinterpret).  Aliases share their root's storage and are
 	// never assigned arena space of their own.
 	AliasOf BufferID
+
+	// Scratch marks an op-local workspace buffer (GEMM unroll matrix,
+	// flatten/logit staging).  Scratch buffers are live only during the op
+	// that owns them, so the memory planner overlays them with any
+	// non-conflicting activation storage.
+	Scratch bool
 }
 
 // Elems returns the buffer's element count.
@@ -72,6 +80,14 @@ type Op struct {
 	Layer layers.Layer
 	In    BufferID
 	Out   BufferID
+
+	// Alg is the convolution algorithm the compiler selected for this layer
+	// op; ConvAlgDirect unless algorithm selection chose the GEMM path.
+	Alg kernels.ConvAlgorithm
+	// Scratch, when not NoBuffer, is the op-local workspace buffer the
+	// executor hands the layer (GEMM conv workspace, fully-connected flatten
+	// staging, softmax logits).  It is live only during this op.
+	Scratch BufferID
 }
 
 // Program is a network lowered to an executable op list over explicit
@@ -100,6 +116,22 @@ func (p *Program) root(id BufferID) BufferID {
 	return id
 }
 
+// Options control how Compile lowers a plan.
+type Options struct {
+	// ConvAlgorithms enables per-layer convolution algorithm selection: each
+	// conv op records either the direct or the im2col+GEMM strategy
+	// (internal/autotune decides by layer shape) together with the workspace
+	// the GEMM path needs.  Off by default: the direct path is the
+	// bit-equality reference against the naive Network.Forward, while GEMM
+	// programs are cross-checked per algorithm via ReferenceForward.
+	ConvAlgorithms bool
+	// Probe, together with ConvAlgorithms, selects each conv algorithm by
+	// timing both kernels once on a sample input instead of the analytic
+	// heuristic.  Compilation becomes measurably slower (two full layer
+	// executions per conv layer).
+	Probe bool
+}
+
 // Compile lowers an execution plan into a program: each layer becomes an
 // OpLayer in its planned layout, a layout change between consecutive layers
 // becomes an OpTransform, and a logical shape change (conv/pool output
@@ -107,6 +139,11 @@ func (p *Program) root(id BufferID) BufferID {
 // view whenever the layout permits.  The resulting program carries its static
 // memory plan (see PlanMemory).
 func Compile(plan *network.ExecutionPlan) (*Program, error) {
+	return CompileWithOptions(plan, Options{})
+}
+
+// CompileWithOptions is Compile with explicit lowering options.
+func CompileWithOptions(plan *network.ExecutionPlan, opts Options) (*Program, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("runtime: cannot compile a nil plan")
 	}
@@ -117,13 +154,18 @@ func Compile(plan *network.ExecutionPlan) (*Program, error) {
 	for i, pl := range plan.Layers {
 		layouts[i] = pl.Layout
 	}
-	return lower(plan.Network, plan.PlannerName, layouts)
+	return lower(plan.Network, plan.PlannerName, layouts, opts)
 }
 
 // CompileFixed lowers a network with every layer in one layout, the
 // single-layout policy of the library emulations.  It needs no device or
 // planner and is the baseline the planned programs are compared against.
 func CompileFixed(net *network.Network, layout tensor.Layout) (*Program, error) {
+	return CompileFixedWithOptions(net, layout, Options{})
+}
+
+// CompileFixedWithOptions is CompileFixed with explicit lowering options.
+func CompileFixedWithOptions(net *network.Network, layout tensor.Layout, opts Options) (*Program, error) {
 	if net == nil || len(net.Layers) == 0 {
 		return nil, fmt.Errorf("runtime: cannot compile an empty network")
 	}
@@ -134,15 +176,31 @@ func CompileFixed(net *network.Network, layout tensor.Layout) (*Program, error) 
 		}
 		layouts[i] = layout
 	}
-	return lower(net, fmt.Sprintf("fixed-%v", layout), layouts)
+	return lower(net, fmt.Sprintf("fixed-%v", layout), layouts, opts)
+}
+
+// selectConvAlgorithm picks the convolution strategy for one conv layer,
+// through the analytic heuristic or the measured probe.
+func selectConvAlgorithm(gf layers.GemmForwarder, lay tensor.Layout, opts Options) (kernels.ConvAlgorithm, error) {
+	if opts.Probe {
+		alg, _, err := autotune.ProbeConvAlgorithm(gf.Config(), lay)
+		return alg, err
+	}
+	return autotune.SelectConvAlgorithm(gf.Config()), nil
 }
 
 // lower builds the op list for a network given the layout each layer runs in.
-func lower(net *network.Network, plannerName string, layouts []tensor.Layout) (*Program, error) {
+func lower(net *network.Network, plannerName string, layouts []tensor.Layout, opts Options) (*Program, error) {
 	p := &Program{Net: net, PlannerName: plannerName}
 	newBuf := func(shape tensor.Shape, layout tensor.Layout, alias BufferID) BufferID {
 		id := BufferID(len(p.Buffers))
 		p.Buffers = append(p.Buffers, Buffer{ID: id, Shape: shape, Layout: layout, AliasOf: alias})
+		return id
+	}
+	// newScratch plans an op-local flat workspace of the given element count.
+	newScratch := func(elems int) BufferID {
+		id := newBuf(tensor.Shape{N: 1, C: 1, H: 1, W: elems}, tensor.NCHW, NoBuffer)
+		p.Buffers[id].Scratch = true
 		return id
 	}
 	cur := newBuf(net.InputShape(), layouts[0], NoBuffer)
@@ -156,7 +214,7 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout) (*
 			p.Ops = append(p.Ops, Op{
 				Kind: OpTransform,
 				Name: fmt.Sprintf("%v->%v before %s", from, lay, l.Name()),
-				In:   cur, Out: out,
+				In:   cur, Out: out, Scratch: NoBuffer,
 			})
 			cur = out
 		}
@@ -173,12 +231,28 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout) (*
 			p.Ops = append(p.Ops, Op{
 				Kind: OpReshape,
 				Name: fmt.Sprintf("%v->%v before %s", p.Buffers[cur].Shape, in, l.Name()),
-				In:   cur, Out: out,
+				In:   cur, Out: out, Scratch: NoBuffer,
 			})
 			cur = out
 		}
 		out := newBuf(l.OutputShape(), lay, NoBuffer)
-		p.Ops = append(p.Ops, Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out})
+		op := Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out, Scratch: NoBuffer}
+		if gf, ok := l.(layers.GemmForwarder); ok && opts.ConvAlgorithms {
+			alg, err := selectConvAlgorithm(gf, lay, opts)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: selecting algorithm for %q: %w", l.Name(), err)
+			}
+			if alg == kernels.ConvAlgGemm {
+				op.Alg = kernels.ConvAlgGemm
+				gf.PackedFilters() // pre-pack the GEMM operand once, at compile time
+				op.Scratch = newScratch(gf.GemmWorkspaceElems(lay))
+			}
+		} else if wf, ok := l.(layers.WorkspaceForwarder); ok {
+			if elems := wf.WorkspaceElems(); elems > 0 {
+				op.Scratch = newScratch(elems)
+			}
+		}
+		p.Ops = append(p.Ops, op)
 		cur = out
 	}
 	p.Output = cur

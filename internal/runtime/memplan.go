@@ -77,6 +77,11 @@ func PlanMemory(p *Program) (*MemPlan, error) {
 	for i, op := range p.Ops {
 		touch(op.In, i, false)
 		touch(op.Out, i, true)
+		if op.Scratch != NoBuffer {
+			// Workspace buffers are written and consumed inside their op, so
+			// their live range is the single op index.
+			touch(op.Scratch, i, true)
+		}
 	}
 	touch(p.Output, len(p.Ops), false)
 

@@ -1,0 +1,94 @@
+package runtime
+
+import (
+	"fmt"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/layers"
+	"memcnn/internal/tensor"
+)
+
+// ConvChoice describes the algorithm the compiler recorded for one
+// convolution op.
+type ConvChoice struct {
+	Layer          string
+	Alg            kernels.ConvAlgorithm
+	WorkspaceBytes int64
+}
+
+// ConvChoices lists the algorithm recorded for every convolution op in
+// program order, together with the arena workspace each GEMM choice claims.
+func (p *Program) ConvChoices() []ConvChoice {
+	var out []ConvChoice
+	for _, op := range p.Ops {
+		if op.Kind != OpLayer {
+			continue
+		}
+		if _, ok := op.Layer.(layers.GemmForwarder); !ok {
+			continue
+		}
+		ch := ConvChoice{Layer: op.Name, Alg: op.Alg}
+		if op.Scratch != NoBuffer {
+			ch.WorkspaceBytes = p.Buffers[op.Scratch].Bytes()
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+// ScratchBytes returns the total storage of the program's op-local workspace
+// buffers (before arena packing overlays them with activation storage).
+func (p *Program) ScratchBytes() int64 {
+	var total int64
+	for _, b := range p.Buffers {
+		if b.Scratch {
+			total += b.Bytes()
+		}
+	}
+	return total
+}
+
+// ReferenceForward runs the program's network functionally — allocating layer
+// by layer, like network.Forward — while mirroring the program's per-layer
+// convolution algorithm choices.  Because each algorithm fixes its
+// accumulation order, the result is bit-identical to the executor's output
+// for the same program; it is the cross-check reference for
+// algorithm-selected programs, the way Network.Forward is for direct-only
+// ones (for a program compiled without algorithm selection the two references
+// coincide).
+func (p *Program) ReferenceForward(in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Shape != p.InputShape() {
+		return nil, fmt.Errorf("runtime: %s input shape %v, want %v", p.Net.Name, in.Shape, p.InputShape())
+	}
+	algs := make(map[layers.Layer]kernels.ConvAlgorithm)
+	for _, op := range p.Ops {
+		if op.Kind == OpLayer {
+			algs[op.Layer] = op.Alg
+		}
+	}
+	cur := in
+	for _, l := range p.Net.Layers {
+		if cur.Shape != l.InputShape() && cur.Shape.Elems() == l.InputShape().Elems() {
+			reshaped := tensor.New(l.InputShape(), cur.Layout)
+			if err := tensor.ReshapeInto(cur, reshaped); err != nil {
+				return nil, fmt.Errorf("runtime: %s before layer %q: %w", p.Net.Name, l.Name(), err)
+			}
+			cur = reshaped
+		}
+		if gf, ok := l.(layers.GemmForwarder); ok && algs[l] == kernels.ConvAlgGemm {
+			out := tensor.New(l.OutputShape(), cur.Layout)
+			scratch := make([]float32, gf.GemmWorkspaceElems(out.Layout))
+			if err := gf.ForwardIntoGemm(cur, out, scratch); err != nil {
+				return nil, fmt.Errorf("runtime: %s layer %q: %w", p.Net.Name, l.Name(), err)
+			}
+			cur = out
+			continue
+		}
+		out, err := l.Forward(cur)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: %s layer %q: %w", p.Net.Name, l.Name(), err)
+		}
+		cur = out
+	}
+	return cur, nil
+}

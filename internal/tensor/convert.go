@@ -66,6 +66,10 @@ func convertParallel(src, dst *Tensor) {
 	if workers > outer {
 		workers = outer
 	}
+	if workers <= 1 {
+		convertRange(src, dst, 0, outer)
+		return
+	}
 	var wg sync.WaitGroup
 	for wkr := 0; wkr < workers; wkr++ {
 		lo := wkr * outer / workers

@@ -182,7 +182,16 @@ const AlexNetBatch = 64
 // AlexNet returns the AlexNet model (5 convolutions, 3 overlapped pools,
 // 2 LRN layers, 3 fully-connected layers and the softmax classifier).
 func AlexNet() (*network.Network, error) {
-	b := newNetBuilder("AlexNet", AlexNetBatch, tensor.Shape{N: AlexNetBatch, C: 3, H: 227, W: 227})
+	return AlexNetWithBatch(AlexNetBatch)
+}
+
+// AlexNetWithBatch returns the AlexNet model at an arbitrary batch size.  The
+// layer shapes (channels, filters, feature maps) are unchanged, which is what
+// the CI golden-equivalence suite relies on: a small batch keeps the
+// functional cross-check affordable while still exercising the
+// ImageNet-scale per-layer configurations.
+func AlexNetWithBatch(batch int) (*network.Network, error) {
+	b := newNetBuilder("AlexNet", batch, tensor.Shape{N: batch, C: 3, H: 227, W: 227})
 	b.convRelu("conv1", 96, 11, 4, 0).
 		lrn("norm1").
 		pool("pool1", 3, 2).
