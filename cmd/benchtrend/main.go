@@ -1,0 +1,136 @@
+// Command benchtrend guards the BENCH_*.json perf trajectory: it compares a
+// freshly measured `netbench -runtime -exec -json` record set against a
+// committed baseline and fails (exit 1) when any network's latency regressed
+// beyond the allowed ratio.
+//
+// Absolute wall-clock numbers are machine-dependent — the committed baseline
+// and a CI runner differ in core count and clock — so the gate compares
+// machine-normalised metrics: each run's planned latency divided by the same
+// run's naive-forward latency, both measured seconds apart on the same host.
+// A planned executor that genuinely regresses (lost kernel, algorithm
+// misselection, allocation creep) moves that ratio wherever it runs; a slower
+// runner moves numerator and denominator together and cancels out.  Absolute
+// latencies are still printed for the trajectory record.
+//
+// Usage:
+//
+//	benchtrend -baseline BENCH_baseline.json -current BENCH_ci.json
+//	benchtrend -baseline BENCH_baseline.json -current BENCH_ci.json -max-ratio 1.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// record is the slice of a netbench netReport the trend check consumes.
+type record struct {
+	Network     string  `json:"network"`
+	NaiveUS     float64 `json:"naive_us"`
+	SelectedUS  float64 `json:"selected_us"`
+	PipelinedUS float64 `json:"pipelined_us"`
+	PeakBytes   int64   `json:"peak_bytes"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline record set")
+		currentPath  = flag.String("current", "", "freshly measured record set to check")
+		maxRatio     = flag.Float64("max-ratio", 2.0, "fail when a normalised latency metric exceeds its baseline by this factor")
+	)
+	flag.Parse()
+	if *currentPath == "" {
+		fail(fmt.Errorf("benchtrend: -current is required"))
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fail(err)
+	}
+
+	// The gate iterates the BASELINE: a network or metric present in the
+	// baseline but absent from the current run fails closed — otherwise a
+	// drifted CI invocation (a dropped flag, a renamed network) would stop
+	// guarding a metric while the check stays green.
+	regressions := 0
+	checked := 0
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("%-10s MISSING from current run\n", name)
+			regressions++
+			continue
+		}
+		for _, m := range []struct {
+			label          string
+			baseV, curV    float64
+			baseNorm, curN float64
+		}{
+			{"selected_us", base.SelectedUS, cur.SelectedUS, base.NaiveUS, cur.NaiveUS},
+			{"pipelined_us", base.PipelinedUS, cur.PipelinedUS, base.NaiveUS, cur.NaiveUS},
+		} {
+			if m.baseV <= 0 || m.baseNorm <= 0 {
+				continue // metric not in the baseline: nothing to guard
+			}
+			if m.curV <= 0 || m.curN <= 0 {
+				fmt.Printf("%-10s %-13s MISSING from current run\n", name, m.label)
+				regressions++
+				continue
+			}
+			checked++
+			baseRel := m.baseV / m.baseNorm
+			curRel := m.curV / m.curN
+			ratio := curRel / baseRel
+			status := "ok"
+			if ratio > *maxRatio {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-10s %-13s vs naive %.3f -> %.3f (%.2fx)  [abs %.0f -> %.0f us]  %s\n",
+				name, m.label, baseRel, curRel, ratio, m.baseV, m.curV, status)
+		}
+		if base.PeakBytes > 0 && cur.PeakBytes > base.PeakBytes {
+			fmt.Printf("%-10s %-13s %10d -> %10d B  note: memory plan grew\n",
+				name, "peak_bytes", base.PeakBytes, cur.PeakBytes)
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			fmt.Printf("%-10s new network, no baseline\n", name)
+		}
+	}
+	if checked == 0 && regressions == 0 {
+		fail(fmt.Errorf("benchtrend: no comparable latency records between %s and %s", *baselinePath, *currentPath))
+	}
+	if regressions > 0 {
+		fail(fmt.Errorf("benchtrend: %d metric(s) regressed or went missing (gate %.1fx)", regressions, *maxRatio))
+	}
+	fmt.Printf("benchtrend: %d metric(s) within %.1fx of baseline\n", checked, *maxRatio)
+}
+
+// load reads a netbench JSON record set, indexed by network name.
+func load(path string) (map[string]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchtrend: %w", err)
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("benchtrend: parsing %s: %w", path, err)
+	}
+	out := make(map[string]record, len(recs))
+	for _, r := range recs {
+		out[r.Network] = r
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -4,9 +4,18 @@
 // and fronted by the dynamic micro-batching server so concurrent single-image
 // requests coalesce into planned batched executions.
 //
+// With -select the program compiles through per-layer convolution algorithm
+// selection (direct vs im2col+GEMM) and is verified bit-for-bit against
+// Program.ReferenceForward before serving starts.  With -devices N the
+// compiled program is sharded into N pipeline stages over simulated devices
+// and batches stream through the sharded PipelineExecutor — results stay
+// bit-identical to the single-device path while each stage reports modeled
+// device latency.
+//
 // Usage:
 //
 //	memcnnserve -network LeNet -addr :8080
+//	memcnnserve -network LeNet -select -devices 2 -demo 256
 //	memcnnserve -network TinyNet -demo 256      # self-driving load test
 //
 // Endpoints:
@@ -45,6 +54,8 @@ func main() {
 		maxBatch    = flag.Int("batch", 0, "max requests per planned execution (default: the network batch)")
 		maxDelay    = flag.Duration("delay", 2*time.Millisecond, "max time a request waits for its batch to fill")
 		workers     = flag.Int("workers", 2, "concurrent batch executors")
+		selectAlgs  = flag.Bool("select", false, "compile with per-layer convolution algorithm selection (verified against ReferenceForward at startup)")
+		devices     = flag.Int("devices", 1, "pipeline the program across N simulated devices (1 = single-device executor)")
 		demo        = flag.Int("demo", 0, "instead of listening, fire N synthetic concurrent requests and exit")
 	)
 	flag.Parse()
@@ -53,7 +64,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	prog, err := compile(net, *policy)
+	prog, err := compile(net, *policy, memruntime.Options{ConvAlgorithms: *selectAlgs})
 	if err != nil {
 		fail(err)
 	}
@@ -61,8 +72,44 @@ func main() {
 		net.Name, len(net.Layers), len(prog.Ops), len(prog.Buffers), prog.PlannerName)
 	fmt.Printf("memory plan: peak %.2f MiB vs naive %.2f MiB (%.0f%% saved)\n",
 		mib(prog.Mem.PeakBytes()), mib(prog.NaiveBytes()), 100*prog.Savings())
+	if *selectAlgs {
+		for _, ch := range prog.ConvChoices() {
+			fmt.Printf("conv %-12s %s\n", ch.Layer, ch.Alg)
+		}
+	}
 
-	srv, err := memruntime.NewServer(prog, memruntime.ServerConfig{
+	// Build the serving engine first so the startup golden check exercises
+	// the exact runner traffic goes through.
+	var runner memruntime.Runner
+	var pipe *memruntime.PipelineExecutor
+	if *devices > 1 {
+		sp, err := memruntime.Shard(prog, *devices, memruntime.ShardOptions{
+			Devices: memruntime.SimDevices(*devices, gpusim.TitanBlack()),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("sharded across %d simulated device(s): summed arena %.2f MiB vs single-device %.2f MiB, %.2f MiB transfers/batch\n",
+			len(sp.Stages), mib(sp.SummedPeakBytes()), mib(prog.Mem.PeakBytes()), mib(sp.TransferBytes()))
+		for _, st := range sp.Stages {
+			fmt.Printf("  stage %d on %s: ops [%d,%d], arena %.2f MiB, transfer in %.2f MiB\n",
+				st.Index, st.Device.Name(), st.FirstOp, st.LastOp,
+				mib(st.Prog.Mem.PeakBytes()), mib(st.TransferInBytes))
+		}
+		pipe = memruntime.NewPipelineExecutor(sp)
+		defer pipe.Close()
+		runner = pipe
+	} else {
+		runner = memruntime.NewExecutor(prog)
+	}
+	if *selectAlgs {
+		if err := goldenCheck(prog, runner); err != nil {
+			fail(fmt.Errorf("memcnnserve: startup golden check: %w", err))
+		}
+		fmt.Println("startup golden check: serving engine output bit-equals ReferenceForward")
+	}
+
+	srv, err := memruntime.NewServerWith(prog, runner, memruntime.ServerConfig{
 		MaxBatch: *maxBatch,
 		MaxDelay: *maxDelay,
 		Workers:  *workers,
@@ -73,7 +120,24 @@ func main() {
 	defer srv.Close()
 
 	if *demo > 0 {
+		// Snapshot before the demo so the reported per-stage means cover the
+		// demo traffic only, excluding the cold arena-warming batch and the
+		// -select golden-check batch.
+		var before []memruntime.PipelineStageStats
+		if pipe != nil {
+			before = pipe.StageStats()
+		}
 		runDemo(srv, prog, *demo)
+		if pipe != nil {
+			for i, st := range pipe.StageStats() {
+				d := st.Delta(before[i])
+				if d.Batches == 0 {
+					continue
+				}
+				fmt.Printf("  stage %d on %s: %d batches, modeled %.1f us/batch, measured %.1f us/batch\n",
+					d.Stage, d.Device, d.Batches, d.ModeledUS, d.MeasuredUS)
+			}
+		}
 		return
 	}
 
@@ -106,21 +170,45 @@ func buildNetwork(name string) (*network.Network, error) {
 	return nil, fmt.Errorf("memcnnserve: unknown network %q", name)
 }
 
-func compile(net *network.Network, policy string) (*memruntime.Program, error) {
+func compile(net *network.Network, policy string, opts memruntime.Options) (*memruntime.Program, error) {
 	switch strings.ToLower(policy) {
 	case "opt":
 		plan, err := frameworks.Optimized(layout.TitanBlackThresholds()).Plan(gpusim.TitanBlack(), net)
 		if err != nil {
 			return nil, err
 		}
-		return memruntime.Compile(plan)
+		return memruntime.CompileWithOptions(plan, opts)
 	case "nchw":
-		return memruntime.CompileFixed(net, tensor.NCHW)
+		return memruntime.CompileFixedWithOptions(net, tensor.NCHW, opts)
 	case "chwn":
-		return memruntime.CompileFixed(net, tensor.CHWN)
+		return memruntime.CompileFixedWithOptions(net, tensor.CHWN, opts)
 	default:
 		return nil, fmt.Errorf("memcnnserve: unknown policy %q", policy)
 	}
+}
+
+// goldenCheck verifies at startup that the serving engine — the exact runner
+// the batching server will execute on, single-device or pipelined — bit-equals
+// the program's functional reference, so a serving binary can never drift
+// from the golden path silently.
+func goldenCheck(prog *memruntime.Program, run memruntime.Runner) error {
+	in := tensor.Random(prog.InputShape(), tensor.NCHW, 1)
+	want, err := prog.ReferenceForward(in)
+	if err != nil {
+		return err
+	}
+	got := tensor.New(prog.OutputShape(), tensor.NCHW)
+	if err := run.RunInto(in, got); err != nil {
+		return err
+	}
+	wantNCHW := tensor.Convert(want, tensor.NCHW)
+	for i := range wantNCHW.Data {
+		if got.Data[i] != wantNCHW.Data[i] {
+			return fmt.Errorf("serving engine output differs from ReferenceForward at element %d (%v vs %v)",
+				i, got.Data[i], wantNCHW.Data[i])
+		}
+	}
+	return nil
 }
 
 // runDemo fires n synthetic requests with bounded concurrency and reports

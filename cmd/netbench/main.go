@@ -11,6 +11,11 @@
 // writes the per-network results as machine-readable records (the BENCH_*.json
 // perf-trajectory format).
 //
+// The -devices flag (with -runtime) additionally shards each compiled
+// program across N simulated devices and reports the per-stage breakdown:
+// op counts, arena bytes, cross-device transfer bytes and modeled device
+// latency — plus measured per-stage wall time when -exec runs the pipeline.
+//
 // Usage:
 //
 //	netbench                         # Fig. 14 on the Titan Black model
@@ -18,6 +23,7 @@
 //	netbench -device titanx -thresholds calibrated
 //	netbench -runtime                # memory plans + conv algorithms
 //	netbench -runtime -exec          # plus measured throughput (small nets)
+//	netbench -runtime -devices 4     # pipeline-sharded per-stage breakdown
 //	netbench -runtime -exec -json BENCH_runtime.json
 package main
 
@@ -50,6 +56,7 @@ func main() {
 		execute     = flag.Bool("exec", false, "with -runtime: execute the compiled programs and measure imgs/sec (small networks only unless -network selects one)")
 		selectAlgs  = flag.Bool("select", true, "with -runtime: select the convolution algorithm per layer (direct vs im2col+GEMM)")
 		probe       = flag.Bool("probe", false, "with -runtime -select: pick each conv algorithm by timing both kernels instead of the analytic heuristic")
+		devices     = flag.Int("devices", 1, "with -runtime: shard each program across N simulated devices and report the per-stage breakdown")
 		jsonPath    = flag.String("json", "", "with -runtime: write per-network latency/alloc stats to this file as JSON")
 	)
 	flag.Parse()
@@ -69,7 +76,7 @@ func main() {
 
 	if *runtimeView {
 		opts := memruntime.Options{ConvAlgorithms: *selectAlgs, Probe: *probe}
-		if err := runtimeReport(dev, th, *networkName, *execute, opts, *jsonPath); err != nil {
+		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -140,6 +147,18 @@ type convChoiceJSON struct {
 	WorkspaceBytes int64  `json:"workspace_bytes,omitempty"`
 }
 
+// stageJSON is the machine-readable record of one pipeline stage under
+// -devices.
+type stageJSON struct {
+	Stage           int     `json:"stage"`
+	Device          string  `json:"device"`
+	Ops             int     `json:"ops"`
+	ArenaBytes      int64   `json:"arena_bytes"`
+	TransferInBytes int64   `json:"transfer_in_bytes"`
+	ModeledUS       float64 `json:"modeled_us"`
+	MeasuredUS      float64 `json:"measured_us,omitempty"`
+}
+
 // netReport is the machine-readable per-network record written by -json; it
 // is the seed of the BENCH_*.json perf trajectory.
 type netReport struct {
@@ -153,6 +172,13 @@ type netReport struct {
 	ScratchBytes   int64            `json:"scratch_bytes"`
 	SavedFraction  float64          `json:"saved_fraction"`
 	ConvAlgorithms []convChoiceJSON `json:"conv_algorithms,omitempty"`
+
+	// Sharding stats, present with -devices > 1.
+	Devices         int         `json:"devices,omitempty"`
+	SummedPeakBytes int64       `json:"summed_peak_bytes,omitempty"`
+	TransferBytes   int64       `json:"transfer_bytes,omitempty"`
+	Stages          []stageJSON `json:"stages,omitempty"`
+	PipelinedUS     float64     `json:"pipelined_us,omitempty"`
 
 	// Execution stats, present with -exec.
 	NaiveUS            float64 `json:"naive_us,omitempty"`
@@ -170,7 +196,7 @@ type netReport struct {
 // sub-second networks (LeNet, Cifar10); selecting a single network with
 // -network overrides that guard.  A non-empty jsonPath collects the reports
 // into a JSON file.
-func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, jsonPath string) error {
+func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, jsonPath string) error {
 	nets, err := workloads.Networks()
 	if err != nil {
 		return err
@@ -232,6 +258,11 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 				return err
 			}
 		}
+		if devices > 1 {
+			if err := shardReport(dev, prog, devices, exec && (cheap[name] || len(targets) == 1), &rep); err != nil {
+				return fmt.Errorf("netbench: sharding %s: %w", name, err)
+			}
+		}
 		reports = append(reports, rep)
 	}
 	if jsonPath != "" {
@@ -243,6 +274,72 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 			return fmt.Errorf("netbench: writing %s: %w", jsonPath, err)
 		}
 		fmt.Printf("wrote %d network report(s) to %s\n", len(reports), jsonPath)
+	}
+	return nil
+}
+
+// shardReport cuts the compiled program into n pipeline stages over simulated
+// devices of the selected hardware model and prints the per-stage breakdown —
+// op counts, arena and transfer bytes, modeled device latency — plus, with
+// exec, the measured wall time per stage and for one pipelined batch.
+func shardReport(hw *gpusim.Device, prog *memruntime.Program, n int, exec bool, rep *netReport) error {
+	sp, err := memruntime.Shard(prog, n, memruntime.ShardOptions{
+		Devices:   memruntime.SimDevices(n, hw),
+		CostModel: hw,
+	})
+	if err != nil {
+		return err
+	}
+	rep.Devices = len(sp.Stages)
+	rep.SummedPeakBytes = sp.SummedPeakBytes()
+	rep.TransferBytes = sp.TransferBytes()
+	fmt.Printf("         sharded across %d device(s): summed arena %.2f MiB vs %.2f MiB single-device, %.2f MiB transfers/batch\n",
+		len(sp.Stages), float64(sp.SummedPeakBytes())/(1<<20), float64(prog.Mem.PeakBytes())/(1<<20),
+		float64(sp.TransferBytes())/(1<<20))
+
+	// Per-stage steady-state wall time: the cold first batch pays the arena
+	// and boundary-pool allocations, so it is measured but excluded from the
+	// reported means.
+	var warm, final []memruntime.PipelineStageStats
+	if exec {
+		pe := memruntime.NewPipelineExecutor(sp)
+		defer pe.Close()
+		in := tensor.Random(prog.InputShape(), tensor.NCHW, 1)
+		out := tensor.New(prog.OutputShape(), tensor.NCHW)
+		if err := pe.RunInto(in, out); err != nil { // cold batch: warm the stage arenas
+			return err
+		}
+		warm = pe.StageStats()
+		pipelined, _, err := minOverSamples(func() (time.Duration, uint64, error) {
+			start := time.Now()
+			err := pe.RunInto(in, out)
+			return time.Since(start), 0, err
+		})
+		if err != nil {
+			return err
+		}
+		rep.PipelinedUS = float64(pipelined.Microseconds())
+		final = pe.StageStats()
+	}
+	for i, st := range sp.Stages {
+		sd := st.Device.(*memruntime.SimDevice)
+		modeled := sd.ModelProgramUS(st.Prog) + sd.TransferInUS(st.TransferInBytes)
+		sj := stageJSON{
+			Stage: st.Index, Device: st.Device.Name(), Ops: st.Ops(),
+			ArenaBytes: st.Prog.Mem.PeakBytes(), TransferInBytes: st.TransferInBytes,
+			ModeledUS: modeled,
+		}
+		line := fmt.Sprintf("           stage %d: %2d ops, arena %8.2f MiB, transfer %7.2f MiB, modeled %8.0f us",
+			st.Index, st.Ops(), float64(sj.ArenaBytes)/(1<<20), float64(st.TransferInBytes)/(1<<20), modeled)
+		if final != nil {
+			sj.MeasuredUS = final[i].Delta(warm[i]).MeasuredUS
+			line += fmt.Sprintf(", measured %8.0f us", sj.MeasuredUS)
+		}
+		fmt.Println(line)
+		rep.Stages = append(rep.Stages, sj)
+	}
+	if exec {
+		fmt.Printf("           pipelined batch: %.0f us measured end-to-end\n", rep.PipelinedUS)
 	}
 	return nil
 }
@@ -259,24 +356,52 @@ func timedRun(exec *memruntime.Executor, in, out *tensor.Tensor) (time.Duration,
 	return elapsed, after.TotalAlloc - before.TotalAlloc, err
 }
 
-// timeExecution runs the naive forward, the direct-only program and the
-// algorithm-selected program once each (after warming the arena pools) and
-// reports their functional throughput.  When direct and selected are the
-// same program (selection disabled) the planned execution is timed once.
+// latencySamples is the sample count for the metrics the CI trend gate
+// consumes (naive_us, selected_us, pipelined_us): each is the minimum of N
+// runs, which filters GC pauses and scheduler noise on shared runners.
+const latencySamples = 3
+
+// minOverSamples runs the measurement latencySamples times and returns the
+// fastest elapsed time together with that run's companion value.
+func minOverSamples(run func() (time.Duration, uint64, error)) (time.Duration, uint64, error) {
+	var best time.Duration
+	var bestV uint64
+	for s := 0; s < latencySamples; s++ {
+		elapsed, v, err := run()
+		if err != nil {
+			return 0, 0, err
+		}
+		if s == 0 || elapsed < best {
+			best, bestV = elapsed, v
+		}
+	}
+	return best, bestV, nil
+}
+
+// timeExecution times the naive forward, the direct-only program and the
+// algorithm-selected program (after warming the arena pools) and reports
+// their functional throughput; the trend-gated metrics take the minimum of
+// latencySamples runs.  When direct and selected are the same program
+// (selection disabled) the planned execution alone is timed.
 func timeExecution(net *network.Network, direct, selected *memruntime.Program, rep *netReport) error {
 	in := tensor.Random(net.InputShape(), tensor.NCHW, 1)
-	start := time.Now()
-	if _, err := net.Forward(in); err != nil {
+	naive, _, err := minOverSamples(func() (time.Duration, uint64, error) {
+		start := time.Now()
+		_, err := net.Forward(in)
+		return time.Since(start), 0, err
+	})
+	if err != nil {
 		return fmt.Errorf("netbench: %s naive forward: %w", net.Name, err)
 	}
-	naive := time.Since(start)
 
 	out := tensor.New(selected.OutputShape(), tensor.NCHW)
 	selectedExec := memruntime.NewExecutor(selected)
 	if err := selectedExec.RunInto(in, out); err != nil { // warm the arena pool
 		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
 	}
-	selectedTime, allocBytes, err := timedRun(selectedExec, in, out)
+	selectedTime, allocBytes, err := minOverSamples(func() (time.Duration, uint64, error) {
+		return timedRun(selectedExec, in, out)
+	})
 	if err != nil {
 		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
 	}

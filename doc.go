@@ -19,10 +19,23 @@
 // argument (internal/autotune) or a measured probe — pre-packs the filter
 // banks into flat GEMM operands, and plans every kernel workspace
 // (convolution unroll matrices, fully-connected flatten staging, softmax
-// logits) into the arena as op-local buffers.  A dynamic micro-batching
-// server coalesces concurrent single-image requests into planned batched
-// executions; cmd/memcnnserve serves it over HTTP and `netbench -runtime`
-// reports every network's arena footprint, per-layer algorithm choice and
+// logits) into the arena as op-local buffers.  Layers that declare in-place
+// safety (ReLU) alias their output onto their input, shrinking the arena
+// further.
+//
+// The execution stack is device-abstracted: ops run through a runtime.Device
+// — the native CPU, or a simulated GPU that computes real results while
+// pricing every op on the internal/gpusim hardware model — and a compiled
+// program can be sharded into contiguous pipeline stages across several
+// devices (FLOPs- or bytes-balanced cuts, explicit cross-device transfers,
+// one arena plan per stage).  The pipelined executor streams batches through
+// the stages bit-identically to the single-device run.  A dynamic
+// micro-batching server coalesces concurrent single-image requests into
+// planned batched executions over either engine; cmd/memcnnserve serves it
+// over HTTP (`-select` verifies the algorithm-selected program against its
+// functional reference at startup, `-devices N` pipelines across simulated
+// devices) and `netbench -runtime` reports every network's arena footprint,
+// per-layer algorithm choice, per-stage sharding breakdown (-devices) and
 // (with -exec/-json) measured direct-vs-selected throughput.
 //
 // The public entry points live under internal/ because the module is a

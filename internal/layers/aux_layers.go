@@ -291,6 +291,11 @@ func (r *ReLU) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
+// ForwardsInPlace implements InPlaceForwarder: the same-layout path reads
+// each element exactly once, at the index it writes, so dst may alias in
+// under any layout.
+func (r *ReLU) ForwardsInPlace(tensor.Layout) bool { return true }
+
 // ForwardInto implements IntoForwarder.  The rectifier is element-wise, so
 // when input and output share a layout it is a single linear pass over the
 // backing slices.
@@ -396,7 +401,8 @@ func (l *LRN) Forward(in *tensor.Tensor) (*tensor.Tensor, error) {
 
 // ForwardInto implements IntoForwarder.  The cross-channel window reads a
 // neighbourhood of the input for every output value, so dst must not alias
-// in.
+// in — which is why LRN deliberately does not implement InPlaceForwarder: an
+// in-place run would square channels that were already normalised.
 func (l *LRN) ForwardInto(in, dst *tensor.Tensor) error {
 	if in.Shape != l.Shape {
 		return fmt.Errorf("layers: %s: input shape %v, want %v", l.LayerName, in.Shape, l.Shape)

@@ -123,9 +123,25 @@ type Layer interface {
 // layer's output shape.  The planned-execution engine (internal/runtime) uses
 // it to run layers without per-request heap allocation; layers that do not
 // implement it are executed through Forward followed by a copy into the
-// planned buffer.  The output tensor must not alias the input.
+// planned buffer.  The output tensor must not alias the input unless the
+// layer also implements InPlaceForwarder and reports the layout safe.
 type IntoForwarder interface {
 	ForwardInto(in, dst *tensor.Tensor) error
+}
+
+// InPlaceForwarder is an optional extension of IntoForwarder implemented by
+// layers whose ForwardInto tolerates dst sharing storage with in.  The
+// planned-execution engine then aliases the layer's output buffer onto its
+// input, shrinking the arena: the op reads and writes the same storage.
+// Element-wise layers (ReLU) qualify when input and output use the same
+// layout — every element is read exactly once, at the index it is written.
+// Layers with neighbourhood reads do not: LRN's cross-channel window would
+// read channels already overwritten in place.
+type InPlaceForwarder interface {
+	IntoForwarder
+	// ForwardsInPlace reports whether ForwardInto may run with dst aliasing
+	// in when both tensors use the given layout.
+	ForwardsInPlace(l tensor.Layout) bool
 }
 
 // WorkspaceForwarder is an optional extension of IntoForwarder implemented by

@@ -18,20 +18,38 @@
 //	                        workspace (GEMM unroll matrix, fully-connected
 //	                        flatten staging, softmax logits) becomes an
 //	                        op-local scratch buffer.
+//	                        Layers declaring in-place safety
+//	                        (layers.InPlaceForwarder, e.g. ReLU) alias their
+//	                        output buffer onto their input, so the op reads
+//	                        and writes the same arena storage.
 //	memory plan (memplan.go) — liveness analysis over buffer IDs followed by
 //	                        greedy best-fit offset assignment into one arena;
 //	                        scratch buffers are live only during their op, so
-//	                        the packer overlays them with activation storage.
+//	                        the packer overlays them with activation storage,
+//	                        and alias live ranges merge into their root's.
 //	                        The plan reports its peak footprint against the
 //	                        naive all-buffers-live total, making the paper's
 //	                        memory-efficiency story measurable.
-//	execute (executor.go, pool.go) — run the compiled program on arena-backed
-//	                        tensor views recycled through a sync.Pool, using
-//	                        the recorded convolution algorithm,
-//	                        layers.WorkspaceForwarder/IntoForwarder where
-//	                        available, and falling back to Forward plus a
-//	                        copy elsewhere.  Steady-state runs allocate no
-//	                        tensors or scratch slices.
+//	execute (executor.go, pool.go, device.go) — run the compiled program on
+//	                        arena-backed tensor views recycled through a
+//	                        sync.Pool, using the recorded convolution
+//	                        algorithm, layers.WorkspaceForwarder/IntoForwarder
+//	                        where available, and falling back to Forward plus
+//	                        a copy elsewhere.  Steady-state runs allocate no
+//	                        tensors or scratch slices.  Every op dispatches
+//	                        through a Device: CPUDevice is the native path,
+//	                        SimDevice computes the same results while pricing
+//	                        each op on an internal/gpusim hardware model, so
+//	                        runs report modeled device latency.
+//
+// On top of the single-device executor, shard.go cuts a compiled program into
+// contiguous pipeline stages (the lowered op list is a linear chain, so every
+// op boundary is a valid cut): the partitioner balances per-stage modeled
+// FLOPs or defined bytes, the buffer crossing each cut becomes an explicit
+// cross-device transfer, and every stage is compiled into a self-contained
+// sub-program with its own arena plan.  pipeline.go streams batches through
+// the stages — one goroutine per stage, per-stage arena pools, pooled
+// boundary tensors — with results bit-identical to the unsharded executor.
 //
 // Golden bit-equality holds per algorithm: direct-only programs reproduce the
 // naive Network.Forward exactly, while algorithm-selected programs reproduce
@@ -39,8 +57,10 @@
 // per-layer choices); every kernel fixes its accumulation order so results do
 // not depend on layout, batching or worker count.
 //
-// On top of the executor, server.go provides a dynamic micro-batching
+// On top of either engine, server.go provides a dynamic micro-batching
 // front-end: many concurrent single-image requests coalesce into planned
 // batched executions (bounded by a maximum batch size and a maximum queueing
-// delay), which is how the planned engine serves traffic — see cmd/memcnnserve.
+// delay) running on any Runner — the single-device Executor or the sharded
+// PipelineExecutor, whose stages the server's concurrent workers keep filled.
+// That is how the planned engine serves traffic — see cmd/memcnnserve.
 package runtime

@@ -8,20 +8,33 @@ import (
 	"memcnn/internal/tensor"
 )
 
-// Executor runs a compiled program.  It is safe for concurrent use: each run
-// borrows a private arena instance from the executor's pool.
+// Executor runs a compiled program on one device.  It is safe for concurrent
+// use: each run borrows a private arena instance from the executor's pool,
+// while the device (stateless for the CPU, a shared hardware model for
+// simulated devices) is shared across runs.
 type Executor struct {
 	prog *Program
+	dev  Device
 	pool *Pool
 }
 
-// NewExecutor builds an executor (and its instance pool) for a program.
+// NewExecutor builds an executor (and its instance pool) for a program on the
+// native CPU device.
 func NewExecutor(p *Program) *Executor {
-	return &Executor{prog: p, pool: NewPool(p)}
+	return NewExecutorOn(p, CPUDevice{})
+}
+
+// NewExecutorOn builds an executor running every op of the program on the
+// given device.
+func NewExecutorOn(p *Program, dev Device) *Executor {
+	return &Executor{prog: p, dev: dev, pool: NewPool(p)}
 }
 
 // Program returns the compiled program the executor runs.
 func (e *Executor) Program() *Program { return e.prog }
+
+// Device returns the device the executor runs on.
+func (e *Executor) Device() Device { return e.dev }
 
 // Run executes the program on one input batch, returning a freshly allocated
 // output in the input's layout.  Use RunInto to avoid the output allocation.
@@ -42,54 +55,52 @@ func (e *Executor) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
 // the arena, so the only steady-state heap traffic left is the short-lived
 // goroutine fan-out inside the parallel kernels.
 func (e *Executor) RunInto(in, dst *tensor.Tensor) error {
+	_, err := e.RunIntoModeled(in, dst)
+	return err
+}
+
+// RunIntoModeled is RunInto additionally returning the device's modeled
+// execution time in microseconds (zero when the device does not model
+// hardware, e.g. the CPU).
+func (e *Executor) RunIntoModeled(in, dst *tensor.Tensor) (float64, error) {
 	if in.Shape != e.prog.InputShape() {
-		return fmt.Errorf("runtime: %s input shape %v, want %v", e.prog.Net.Name, in.Shape, e.prog.InputShape())
+		return 0, fmt.Errorf("runtime: %s input shape %v, want %v", e.prog.Net.Name, in.Shape, e.prog.InputShape())
 	}
 	if dst.Shape != e.prog.OutputShape() {
-		return fmt.Errorf("runtime: %s output shape %v, want %v", e.prog.Net.Name, dst.Shape, e.prog.OutputShape())
+		return 0, fmt.Errorf("runtime: %s output shape %v, want %v", e.prog.Net.Name, dst.Shape, e.prog.OutputShape())
 	}
 	inst := e.pool.Get()
 	defer e.pool.Put(inst)
-	return inst.run(in, dst)
+	return inst.run(e.dev, in, dst)
 }
 
-// run executes the program over this instance's arena.
-func (inst *Instance) run(in, dst *tensor.Tensor) error {
+// run executes the program over this instance's arena on the given device,
+// accumulating the device's modeled time.
+func (inst *Instance) run(dev Device, in, dst *tensor.Tensor) (float64, error) {
 	if err := tensor.ConvertInto(in, inst.bufs[inst.prog.Input]); err != nil {
-		return fmt.Errorf("runtime: staging input: %w", err)
+		return 0, fmt.Errorf("runtime: staging input: %w", err)
 	}
-	for _, op := range inst.prog.Ops {
-		src, out := inst.bufs[op.In], inst.bufs[op.Out]
-		switch op.Kind {
-		case OpTransform:
-			if err := tensor.ConvertInto(src, out); err != nil {
-				return fmt.Errorf("runtime: %s: %w", op.Name, err)
-			}
-		case OpReshape:
-			if inst.prog.Buffers[op.Out].AliasOf != NoBuffer {
-				// Zero-copy view: the output header already shares the input's
-				// storage and linearisation.
-				continue
-			}
-			if err := tensor.ReshapeInto(src, out); err != nil {
-				return fmt.Errorf("runtime: %s: %w", op.Name, err)
-			}
-		case OpLayer:
-			var scratch []float32
-			if op.Scratch != NoBuffer {
-				scratch = inst.bufs[op.Scratch].Data
-			}
-			if err := runLayer(op, src, out, scratch); err != nil {
-				return fmt.Errorf("runtime: layer %q: %w", op.Name, err)
-			}
-		default:
-			return fmt.Errorf("runtime: unknown op kind %v", op.Kind)
+	var modeledUS float64
+	for i, op := range inst.prog.Ops {
+		if op.Kind == OpReshape && inst.prog.Buffers[op.Out].AliasOf != NoBuffer {
+			// Zero-copy view: the output header already shares the input's
+			// storage and linearisation.
+			continue
 		}
+		var scratch []float32
+		if op.Scratch != NoBuffer {
+			scratch = inst.bufs[op.Scratch].Data
+		}
+		us, err := dev.RunOp(inst.prog, i, inst.bufs[op.In], inst.bufs[op.Out], scratch)
+		if err != nil {
+			return modeledUS, fmt.Errorf("runtime: %w", err)
+		}
+		modeledUS += us
 	}
 	if err := tensor.ConvertInto(inst.bufs[inst.prog.Output], dst); err != nil {
-		return fmt.Errorf("runtime: delivering output: %w", err)
+		return modeledUS, fmt.Errorf("runtime: delivering output: %w", err)
 	}
-	return nil
+	return modeledUS, nil
 }
 
 // runLayer executes one layer op: through the compiled convolution algorithm

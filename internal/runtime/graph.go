@@ -130,6 +130,12 @@ type Options struct {
 	// heuristic.  Compilation becomes measurably slower (two full layer
 	// executions per conv layer).
 	Probe bool
+	// NoInPlace disables in-place execution of layers that declare it safe
+	// (layers.InPlaceForwarder, e.g. ReLU).  By default such a layer's
+	// output buffer aliases its input, so the op reads and writes the same
+	// arena storage and the memory plan shrinks; results are bit-identical
+	// either way.  The flag exists to measure that shrinkage.
+	NoInPlace bool
 }
 
 // Compile lowers an execution plan into a program: each layer becomes an
@@ -235,7 +241,15 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 			})
 			cur = out
 		}
-		out := newBuf(l.OutputShape(), lay, NoBuffer)
+		alias := NoBuffer
+		if ip, ok := l.(layers.InPlaceForwarder); ok && !opts.NoInPlace &&
+			ip.ForwardsInPlace(lay) && l.OutputShape() == p.Buffers[cur].Shape &&
+			tensor.CanReinterpret(p.Buffers[p.root(cur)].Shape, l.OutputShape(), lay) {
+			// The layer runs in place: its output is a view of the input's
+			// storage, and the arena never holds both sides at once.
+			alias = p.root(cur)
+		}
+		out := newBuf(l.OutputShape(), lay, alias)
 		op := Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out, Scratch: NoBuffer}
 		if gf, ok := l.(layers.GemmForwarder); ok && opts.ConvAlgorithms {
 			alg, err := selectConvAlgorithm(gf, lay, opts)

@@ -1,0 +1,248 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memcnn/internal/tensor"
+)
+
+// ErrPipelineClosed is returned for batches submitted to a closed pipeline.
+var ErrPipelineClosed = errors.New("runtime: pipeline closed")
+
+// PipelineExecutor streams batches through the stages of a sharded program:
+// one goroutine per stage, connected by bounded channels, so several batches
+// are in flight at once — batch N on stage 2 while batch N+1 runs on stage 1.
+// Each stage owns a per-stage arena pool (via its Executor) and a pool of
+// boundary tensors carrying the one activation that crosses each cut; the
+// boundary hand-off is a same-layout copy, so a pipelined run is bit-identical
+// to the unsharded executor and to Program.ReferenceForward.
+//
+// RunInto is safe for concurrent use; concurrent callers fill the pipeline.
+type PipelineExecutor struct {
+	sp     *ShardedProgram
+	stages []*pipeStage
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	batches atomic.Uint64
+}
+
+// pipeStage is one running stage: its executor, its inbound job queue and the
+// pool of boundary tensors it hands to the next stage.
+type pipeStage struct {
+	idx  int
+	exec *Executor
+	in   chan *pipeJob
+	next *pipeStage
+
+	// boundary pools output tensors in the stage's output layout; nil for
+	// the last stage, which writes into the caller's destination.
+	boundary *sync.Pool
+	// release returns a boundary tensor to this stage's pool; built once so
+	// the steady-state batch flow allocates no closures.
+	release func(t *tensor.Tensor)
+	// transferInUS is the modeled cost of the cross-device transfer feeding
+	// this stage, charged once per batch.
+	transferInUS float64
+
+	modeledNS  atomic.Int64
+	measuredNS atomic.Int64
+	jobs       atomic.Uint64
+}
+
+// pipeJob is one batch moving through the pipeline.
+type pipeJob struct {
+	cur     *tensor.Tensor         // input to the stage about to run
+	release func(t *tensor.Tensor) // returns cur to its boundary pool (nil for the caller's input)
+	dst     *tensor.Tensor         // final destination, written by the last stage
+	done    chan error
+}
+
+// NewPipelineExecutor starts the stage goroutines for a sharded program.
+// Close must be called to stop them.
+func NewPipelineExecutor(sp *ShardedProgram) *PipelineExecutor {
+	pe := &PipelineExecutor{sp: sp}
+	for i, st := range sp.Stages {
+		ps := &pipeStage{
+			idx:  i,
+			exec: NewExecutorOn(st.Prog, st.Device),
+			in:   make(chan *pipeJob, 1),
+		}
+		if i > 0 {
+			ps.transferInUS = st.Device.TransferInUS(st.TransferInBytes)
+		}
+		if i < len(sp.Stages)-1 {
+			shape, layout := st.Prog.OutputShape(), st.Prog.Buffers[st.Prog.Output].Layout
+			pool := &sync.Pool{New: func() any { return tensor.New(shape, layout) }}
+			ps.boundary = pool
+			ps.release = func(t *tensor.Tensor) { pool.Put(t) }
+		}
+		pe.stages = append(pe.stages, ps)
+	}
+	for i := 0; i < len(pe.stages)-1; i++ {
+		pe.stages[i].next = pe.stages[i+1]
+	}
+	pe.wg.Add(len(pe.stages))
+	for _, ps := range pe.stages {
+		go pe.runStage(ps)
+	}
+	return pe
+}
+
+// Sharded returns the sharded program the pipeline executes.
+func (pe *PipelineExecutor) Sharded() *ShardedProgram { return pe.sp }
+
+// runStage drains one stage's job queue until the pipeline closes, forwarding
+// each batch to the next stage (or completing it at the last).
+func (pe *PipelineExecutor) runStage(ps *pipeStage) {
+	defer pe.wg.Done()
+	for job := range ps.in {
+		var out *tensor.Tensor
+		if ps.next == nil {
+			out = job.dst
+		} else {
+			out = ps.boundary.Get().(*tensor.Tensor)
+		}
+		start := time.Now()
+		modeledUS, err := ps.exec.RunIntoModeled(job.cur, out)
+		ps.measuredNS.Add(int64(time.Since(start)))
+		ps.modeledNS.Add(int64((modeledUS + ps.transferInUS) * 1e3))
+		ps.jobs.Add(1)
+		if job.release != nil {
+			job.release(job.cur)
+		}
+		if err != nil {
+			if ps.next != nil {
+				ps.boundary.Put(out)
+			}
+			job.done <- fmt.Errorf("runtime: stage %d: %w", ps.idx, err)
+			continue
+		}
+		if ps.next == nil {
+			pe.batches.Add(1)
+			job.done <- nil
+			continue
+		}
+		job.cur, job.release = out, ps.release
+		ps.next.in <- job
+	}
+	if ps.next != nil {
+		close(ps.next.in)
+	}
+}
+
+// Run executes one batch through the pipeline, returning a freshly allocated
+// output in the input's layout.
+func (pe *PipelineExecutor) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(pe.sp.Base.OutputShape(), in.Layout)
+	if err := pe.RunInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunInto executes one batch through all stages, writing the result into dst.
+// It blocks until the batch has drained from the last stage; submit batches
+// from several goroutines to keep every stage busy.
+func (pe *PipelineExecutor) RunInto(in, dst *tensor.Tensor) error {
+	base := pe.sp.Base
+	if in.Shape != base.InputShape() {
+		return fmt.Errorf("runtime: %s input shape %v, want %v", base.Net.Name, in.Shape, base.InputShape())
+	}
+	if dst.Shape != base.OutputShape() {
+		return fmt.Errorf("runtime: %s output shape %v, want %v", base.Net.Name, dst.Shape, base.OutputShape())
+	}
+	job := &pipeJob{cur: in, dst: dst, done: make(chan error, 1)}
+	pe.mu.RLock()
+	if pe.closed {
+		pe.mu.RUnlock()
+		return ErrPipelineClosed
+	}
+	pe.stages[0].in <- job
+	pe.mu.RUnlock()
+	return <-job.done
+}
+
+// Close stops the stage goroutines after in-flight batches drain.  It is
+// idempotent; RunInto after Close returns ErrPipelineClosed.
+func (pe *PipelineExecutor) Close() {
+	pe.mu.Lock()
+	if pe.closed {
+		pe.mu.Unlock()
+		return
+	}
+	pe.closed = true
+	close(pe.stages[0].in)
+	pe.mu.Unlock()
+	pe.wg.Wait()
+}
+
+// PipelineStageStats reports one stage's shape and observed cost.
+type PipelineStageStats struct {
+	Stage           int
+	Device          string
+	Ops             int
+	ArenaBytes      int64
+	TransferInBytes int64
+	Batches         uint64
+	// ModeledTotalUS and MeasuredTotalUS are cumulative across Batches:
+	// modeled device time (including the stage's inbound transfer; zero on
+	// unmodeled devices) and measured wall time.
+	ModeledTotalUS  float64
+	MeasuredTotalUS float64
+	// ModeledUS and MeasuredUS are the per-batch means of the totals.
+	ModeledUS  float64
+	MeasuredUS float64
+}
+
+// Delta returns the stats covering only the batches s saw beyond an earlier
+// snapshot prev of the same stage — how front-ends exclude cold-start or
+// warm-up batches from reported steady-state means.
+func (s PipelineStageStats) Delta(prev PipelineStageStats) PipelineStageStats {
+	out := s
+	out.Batches = s.Batches - prev.Batches
+	out.ModeledTotalUS = s.ModeledTotalUS - prev.ModeledTotalUS
+	out.MeasuredTotalUS = s.MeasuredTotalUS - prev.MeasuredTotalUS
+	out.ModeledUS, out.MeasuredUS = 0, 0
+	if out.Batches > 0 {
+		out.ModeledUS = out.ModeledTotalUS / float64(out.Batches)
+		out.MeasuredUS = out.MeasuredTotalUS / float64(out.Batches)
+	}
+	return out
+}
+
+// StageStats snapshots per-stage counters.  Counters are read individually,
+// so a snapshot taken while traffic is in flight is consistent only per
+// field; snapshot quiescent pipelines (or difference two snapshots with
+// Delta) for exact accounting.
+func (pe *PipelineExecutor) StageStats() []PipelineStageStats {
+	out := make([]PipelineStageStats, len(pe.stages))
+	for i, ps := range pe.stages {
+		st := pe.sp.Stages[i]
+		s := PipelineStageStats{
+			Stage:           i,
+			Device:          st.Device.Name(),
+			Ops:             st.Ops(),
+			ArenaBytes:      st.Prog.Mem.PeakBytes(),
+			TransferInBytes: st.TransferInBytes,
+			Batches:         ps.jobs.Load(),
+			ModeledTotalUS:  float64(ps.modeledNS.Load()) / 1e3,
+			MeasuredTotalUS: float64(ps.measuredNS.Load()) / 1e3,
+		}
+		if s.Batches > 0 {
+			s.ModeledUS = s.ModeledTotalUS / float64(s.Batches)
+			s.MeasuredUS = s.MeasuredTotalUS / float64(s.Batches)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Batches returns the number of batches that completed the whole pipeline.
+func (pe *PipelineExecutor) Batches() uint64 { return pe.batches.Load() }

@@ -66,8 +66,24 @@ type request struct {
 	resp chan response
 }
 
-// NewServer starts the workers for a compiled program.
+// Runner executes a compiled program on one input batch.  The single-device
+// Executor and the sharded PipelineExecutor both implement it, which is how
+// the batching server serves either engine.
+type Runner interface {
+	RunInto(in, dst *tensor.Tensor) error
+}
+
+// NewServer starts the workers for a compiled program on the single-device
+// executor.
 func NewServer(prog *Program, cfg ServerConfig) (*BatchServer, error) {
+	return NewServerWith(prog, NewExecutor(prog), cfg)
+}
+
+// NewServerWith starts the workers for a compiled program on an explicit
+// runner — e.g. a PipelineExecutor streaming batches across sharded devices,
+// whose stages the concurrent workers keep filled.  The runner's lifetime is
+// the caller's: Close stops the workers but not the runner.
+func NewServerWith(prog *Program, run Runner, cfg ServerConfig) (*BatchServer, error) {
 	in := prog.InputShape()
 	cfg = cfg.withDefaults(in.N)
 	if cfg.MaxBatch > in.N {
@@ -75,7 +91,7 @@ func NewServer(prog *Program, cfg ServerConfig) (*BatchServer, error) {
 	}
 	s := &BatchServer{
 		prog: prog,
-		exec: NewExecutor(prog),
+		exec: run,
 		cfg:  cfg,
 		reqs: make(chan *request, cfg.QueueDepth),
 		stop: make(chan struct{}),
@@ -94,7 +110,7 @@ func NewServer(prog *Program, cfg ServerConfig) (*BatchServer, error) {
 // independently, so padded slots cannot perturb real results.
 type BatchServer struct {
 	prog *Program
-	exec *Executor
+	exec Runner
 	cfg  ServerConfig
 
 	reqs chan *request

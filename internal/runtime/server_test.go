@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"memcnn/internal/gpusim"
 	"memcnn/internal/network"
 	"memcnn/internal/runtime"
 	"memcnn/internal/tensor"
@@ -114,6 +115,78 @@ func TestServerConcurrentRequests(t *testing.T) {
 	}
 	t.Logf("served %d requests in %d batches (avg %.2f, largest %d)",
 		st.Requests, st.Batches, st.AvgBatch, st.LargestBatch)
+}
+
+// TestServerPipelinedConcurrentRequests is the sharded twin of the test
+// above: the same 96 concurrent single-image requests, served through a
+// pipeline of two simulated devices (run under -race by CI).  Every response
+// must still bit-equal the naive per-image golden output, and both pipeline
+// stages must have seen every batch.
+func TestServerPipelinedConcurrentRequests(t *testing.T) {
+	prog, images, golden := serverFixture(t)
+	sp, err := runtime.Shard(prog, 2, runtime.ShardOptions{
+		Devices: []runtime.Device{
+			runtime.NewSimDevice("sim0", gpusim.TitanBlack()),
+			runtime.NewSimDevice("sim1", gpusim.TitanX()),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe := runtime.NewPipelineExecutor(sp)
+	defer pipe.Close()
+	srv, err := runtime.NewServerWith(prog, pipe, runtime.ServerConfig{
+		MaxDelay: 5 * time.Millisecond,
+		Workers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const concurrent = 96
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img := images[i%len(images)]
+			out, err := srv.Infer(ctx, img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := golden[i%len(golden)]
+			for j := range want.Data {
+				if out.Data[j] != want.Data[j] {
+					errs <- errMismatch(i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.Requests != concurrent {
+		t.Errorf("stats report %d requests, want %d", st.Requests, concurrent)
+	}
+	for _, stage := range pipe.StageStats() {
+		if stage.Batches != st.Batches {
+			t.Errorf("stage %d saw %d batches, server ran %d", stage.Stage, stage.Batches, st.Batches)
+		}
+		if stage.ModeledUS <= 0 {
+			t.Errorf("stage %d reports no modeled time on a simulated device", stage.Stage)
+		}
+	}
+	t.Logf("pipelined: %d requests in %d batches across %d stages",
+		st.Requests, st.Batches, len(pipe.StageStats()))
 }
 
 type errMismatchErr struct{ req, elem int }

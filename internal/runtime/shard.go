@@ -1,0 +1,326 @@
+package runtime
+
+import (
+	"fmt"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/tensor"
+)
+
+// ShardBalance selects the per-op weight the partitioner balances across
+// stages.
+type ShardBalance int
+
+const (
+	// BalanceFLOPs balances the estimated arithmetic work per stage (layer
+	// ops weigh their Cost-model FLOPs, data-movement ops one op per element
+	// moved).  It is the default: pipeline throughput is set by the slowest
+	// stage.
+	BalanceFLOPs ShardBalance = iota
+	// BalanceBytes balances the activation and scratch storage defined per
+	// stage, approximating per-device peak arena footprint — the right
+	// choice when the model must be split to fit device memory.
+	BalanceBytes
+)
+
+// String names the balance policy.
+func (b ShardBalance) String() string {
+	switch b {
+	case BalanceFLOPs:
+		return "flops"
+	case BalanceBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("ShardBalance(%d)", int(b))
+	}
+}
+
+// ShardOptions control how a program is cut into pipeline stages.
+type ShardOptions struct {
+	// Devices assigns one device per stage.  When nil every stage runs on
+	// the native CPU device.  When set, its length must equal the stage
+	// count passed to Shard.
+	Devices []Device
+	// Balance selects the partitioning objective (default BalanceFLOPs).
+	Balance ShardBalance
+	// CostModel is the hardware model the FLOPs weights are priced on;
+	// nil selects the paper's Titan Black.
+	CostModel *gpusim.Device
+}
+
+// Stage is one contiguous slice of a sharded program's op list, compiled into
+// a self-contained sub-program with its own memory plan, bound to one device.
+type Stage struct {
+	Index  int
+	Device Device
+	// Prog is the stage's sub-program: the base ops [FirstOp, LastOp]
+	// re-indexed over the stage's own buffers, with the stage boundary as
+	// program input/output and a per-stage arena plan.
+	Prog *Program
+	// FirstOp and LastOp delimit the stage in the base program's op list.
+	FirstOp, LastOp int
+	// TransferInBytes is the size of the cross-device transfer feeding this
+	// stage (zero for the first stage, which is fed by the caller).
+	TransferInBytes int64
+	// Weight is the stage's partitioning weight under the chosen balance.
+	Weight float64
+}
+
+// Ops returns the number of ops the stage executes.
+func (s *Stage) Ops() int { return s.LastOp - s.FirstOp + 1 }
+
+// ShardedProgram is a compiled program cut into contiguous pipeline stages.
+// The lowered op list is a linear chain — every op consumes the previous op's
+// output — so any op boundary is a valid cut: exactly one activation buffer
+// crosses it, and that buffer becomes an explicit cross-device transfer.
+type ShardedProgram struct {
+	Base    *Program
+	Balance ShardBalance
+	Stages  []*Stage
+}
+
+// SummedPeakBytes is the total arena footprint across stages — the cost of
+// sharding, reported against the single-device plan's PeakBytes.
+func (sp *ShardedProgram) SummedPeakBytes() int64 {
+	var total int64
+	for _, st := range sp.Stages {
+		total += st.Prog.Mem.PeakBytes()
+	}
+	return total
+}
+
+// TransferBytes is the total cross-device traffic per batch.
+func (sp *ShardedProgram) TransferBytes() int64 {
+	var total int64
+	for _, st := range sp.Stages {
+		total += st.TransferInBytes
+	}
+	return total
+}
+
+// String summarises the sharding.
+func (sp *ShardedProgram) String() string {
+	return fmt.Sprintf("ShardedProgram{%s, %d stages, %s-balanced, %.2f MiB summed arena vs %.2f MiB unsharded, %.2f MiB transfers}",
+		sp.Base.Net.Name, len(sp.Stages), sp.Balance,
+		float64(sp.SummedPeakBytes())/(1<<20), float64(sp.Base.Mem.PeakBytes())/(1<<20),
+		float64(sp.TransferBytes())/(1<<20))
+}
+
+// Shard cuts a compiled program into `stages` contiguous pipeline stages,
+// choosing the cuts that minimise the largest stage weight (per-stage FLOPs
+// or defined bytes, see ShardBalance).  Each stage is compiled into a
+// self-contained sub-program with its own arena plan; the buffer crossing
+// each cut becomes an explicit transfer onto the next stage's device.  A
+// stage count above the op count is clamped (every program supports at least
+// one stage), so tiny networks stay shardable with a generic -devices flag.
+func Shard(p *Program, stages int, opts ShardOptions) (*ShardedProgram, error) {
+	if p == nil || len(p.Ops) == 0 {
+		return nil, fmt.Errorf("runtime: cannot shard an empty program")
+	}
+	if stages <= 0 {
+		return nil, fmt.Errorf("runtime: stage count %d must be positive", stages)
+	}
+	if opts.Devices != nil && len(opts.Devices) != stages {
+		return nil, fmt.Errorf("runtime: %d devices for %d stages", len(opts.Devices), stages)
+	}
+	if stages > len(p.Ops) {
+		stages = len(p.Ops)
+	}
+	model := opts.CostModel
+	if model == nil {
+		model = gpusim.TitanBlack()
+	}
+
+	weights := make([]float64, len(p.Ops))
+	for i, op := range p.Ops {
+		switch opts.Balance {
+		case BalanceBytes:
+			weights[i] = opBytes(p, op)
+		default:
+			weights[i] = opFLOPs(model, p, op)
+		}
+	}
+	cuts := partition(weights, stages)
+
+	sp := &ShardedProgram{Base: p, Balance: opts.Balance}
+	first := 0
+	for i, last := range cuts {
+		prog, err := subProgram(p, i, first, last)
+		if err != nil {
+			return nil, err
+		}
+		var dev Device = CPUDevice{}
+		if opts.Devices != nil {
+			dev = opts.Devices[i]
+		}
+		st := &Stage{
+			Index: i, Device: dev, Prog: prog,
+			FirstOp: first, LastOp: last,
+		}
+		if i > 0 {
+			st.TransferInBytes = p.Buffers[p.Ops[first].In].Bytes()
+		}
+		for _, w := range weights[first : last+1] {
+			st.Weight += w
+		}
+		sp.Stages = append(sp.Stages, st)
+		first = last + 1
+	}
+	return sp, nil
+}
+
+// opFLOPs estimates one op's arithmetic weight: layer ops are priced through
+// their Cost kernel sequence on the model hardware; data-movement ops count
+// one operation per element moved; alias reshapes are free.
+func opFLOPs(model *gpusim.Device, p *Program, op Op) float64 {
+	if op.Kind == OpLayer {
+		stats, err := op.Layer.Cost(model, p.Buffers[op.In].Layout, costOptionsFor(op, p.Buffers[op.In].Layout))
+		if err == nil {
+			var flops float64
+			for _, s := range stats {
+				flops += s.FLOPs
+			}
+			if flops > 0 {
+				return flops
+			}
+		}
+	}
+	if p.Buffers[op.Out].AliasOf != NoBuffer {
+		return 0
+	}
+	return float64(p.Buffers[op.In].Shape.Elems())
+}
+
+// opBytes is one op's storage weight: the root output buffer it defines plus
+// its op-local scratch.
+func opBytes(p *Program, op Op) float64 {
+	var b float64
+	if out := p.Buffers[op.Out]; out.AliasOf == NoBuffer {
+		b += float64(out.Bytes())
+	}
+	if op.Scratch != NoBuffer {
+		b += float64(p.Buffers[op.Scratch].Bytes())
+	}
+	return b
+}
+
+// partition cuts the weight sequence into k non-empty contiguous runs
+// minimising the maximum run weight (classic linear partitioning, exact DP)
+// and returns the last index of each run.
+func partition(weights []float64, k int) []int {
+	n := len(weights)
+	prefix := make([]float64, n+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	sum := func(i, j int) float64 { return prefix[j+1] - prefix[i] } // inclusive
+
+	// best[i][m]: minimal max-run-weight partitioning ops [0, i] into m+1 runs.
+	best := make([][]float64, n)
+	cut := make([][]int, n)
+	for i := range best {
+		best[i] = make([]float64, k)
+		cut[i] = make([]int, k)
+		best[i][0] = sum(0, i)
+		cut[i][0] = -1
+	}
+	for m := 1; m < k; m++ {
+		for i := m; i < n; i++ {
+			bestCost, bestJ := -1.0, -1
+			for j := m - 1; j < i; j++ {
+				cost := best[j][m-1]
+				if tail := sum(j+1, i); tail > cost {
+					cost = tail
+				}
+				if bestJ == -1 || cost < bestCost {
+					bestCost, bestJ = cost, j
+				}
+			}
+			best[i][m], cut[i][m] = bestCost, bestJ
+		}
+	}
+
+	cuts := make([]int, k)
+	i, m := n-1, k-1
+	for m >= 0 {
+		cuts[m] = i
+		i = cut[i][m]
+		m--
+	}
+	return cuts
+}
+
+// subProgram compiles base ops [first, last] into a self-contained stage
+// program: the boundary buffer feeding the stage becomes the program input
+// (always a root — the transfer writes into it), every referenced buffer is
+// re-indexed, and alias chains whose root precedes the stage are re-rooted at
+// the stage input (the linear chain threads their shared storage through the
+// boundary).  The stage gets its own arena plan.
+func subProgram(base *Program, index, first, last int) (*Program, error) {
+	sp := &Program{
+		Net:         base.Net,
+		PlannerName: fmt.Sprintf("%s/stage%d", base.PlannerName, index),
+	}
+	idmap := make(map[BufferID]BufferID)
+	addRoot := func(old BufferID) BufferID {
+		ob := base.Buffers[old]
+		id := BufferID(len(sp.Buffers))
+		sp.Buffers = append(sp.Buffers, Buffer{
+			ID: id, Shape: ob.Shape, Layout: ob.Layout,
+			AliasOf: NoBuffer, Scratch: ob.Scratch,
+		})
+		idmap[old] = id
+		return id
+	}
+
+	boundary := base.Input
+	if first > 0 {
+		boundary = base.Ops[first].In
+	}
+	sp.Input = addRoot(boundary)
+
+	mapBuf := func(old BufferID) BufferID {
+		if id, ok := idmap[old]; ok {
+			return id
+		}
+		ob := base.Buffers[old]
+		if ob.AliasOf == NoBuffer {
+			return addRoot(old)
+		}
+		root, ok := idmap[base.root(old)]
+		if !ok {
+			// The alias's root precedes the stage; its storage reaches the
+			// stage through the boundary buffer, which shares it.
+			root = sp.Input
+		}
+		if !tensor.CanReinterpret(sp.Buffers[root].Shape, ob.Shape, ob.Layout) {
+			// The relabelled view cannot reinterpret its new root: demote the
+			// alias to a root of its own; the executor falls back to a copy.
+			return addRoot(old)
+		}
+		id := BufferID(len(sp.Buffers))
+		sp.Buffers = append(sp.Buffers, Buffer{
+			ID: id, Shape: ob.Shape, Layout: ob.Layout, AliasOf: root,
+		})
+		idmap[old] = id
+		return id
+	}
+
+	for i := first; i <= last; i++ {
+		op := base.Ops[i]
+		op.In = mapBuf(op.In)
+		op.Out = mapBuf(op.Out)
+		if op.Scratch != NoBuffer {
+			op.Scratch = mapBuf(op.Scratch)
+		}
+		sp.Ops = append(sp.Ops, op)
+	}
+	sp.Output = idmap[base.Ops[last].Out]
+
+	mem, err := PlanMemory(sp)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: planning stage %d [%d,%d]: %w", index, first, last, err)
+	}
+	sp.Mem = mem
+	return sp, nil
+}

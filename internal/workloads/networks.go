@@ -159,7 +159,14 @@ func LeNet() (*network.Network, error) {
 // Cifar10 returns the cuda-convnet CIFAR-10 example network of Table 1
 // (batch 128, 24×24 crops, overlapped 3×3 pooling).
 func Cifar10() (*network.Network, error) {
-	b := newNetBuilder("Cifar10", 128, tensor.Shape{N: 128, C: 3, H: 24, W: 24})
+	return Cifar10WithBatch(128)
+}
+
+// Cifar10WithBatch returns the CIFAR-10 network at an arbitrary batch size,
+// layer shapes unchanged; like AlexNetWithBatch it is the affordable
+// golden-equivalence configuration for CI.
+func Cifar10WithBatch(batch int) (*network.Network, error) {
+	b := newNetBuilder("Cifar10", batch, tensor.Shape{N: batch, C: 3, H: 24, W: 24})
 	b.conv("conv1", 64, 5, 1, 2).
 		pool("pool1", 3, 2).
 		conv("conv2", 64, 5, 1, 2).
@@ -213,7 +220,14 @@ func AlexNetWithBatch(batch int) (*network.Network, error) {
 
 // ZFNet returns the ZFNet model with the layer shapes of Table 1 (batch 64).
 func ZFNet() (*network.Network, error) {
-	b := newNetBuilder("ZFNet", 64, tensor.Shape{N: 64, C: 3, H: 224, W: 224})
+	return ZFNetWithBatch(64)
+}
+
+// ZFNetWithBatch returns the ZFNet model at an arbitrary batch size, layer
+// shapes unchanged; like AlexNetWithBatch it is the affordable
+// golden-equivalence configuration for CI.
+func ZFNetWithBatch(batch int) (*network.Network, error) {
+	b := newNetBuilder("ZFNet", batch, tensor.Shape{N: batch, C: 3, H: 224, W: 224})
 	b.convRelu("conv1", 96, 3, 2, 0).
 		pool("pool1", 3, 2).
 		convRelu("conv2", 256, 5, 2, 0).
