@@ -5,8 +5,9 @@
 //
 // Absolute wall-clock numbers are machine-dependent — the committed baseline
 // and a CI runner differ in core count and clock — so the gate compares
-// machine-normalised metrics: each run's planned latency divided by the same
-// run's naive-forward latency, both measured seconds apart on the same host.
+// machine-normalised metrics: each run's planned (selected, pipelined and
+// replicated-serving) latency divided by the same run's naive-forward
+// latency, both measured seconds apart on the same host.
 // A planned executor that genuinely regresses (lost kernel, algorithm
 // misselection, allocation creep) moves that ratio wherever it runs; a slower
 // runner moves numerator and denominator together and cancels out.  Absolute
@@ -27,11 +28,12 @@ import (
 
 // record is the slice of a netbench netReport the trend check consumes.
 type record struct {
-	Network     string  `json:"network"`
-	NaiveUS     float64 `json:"naive_us"`
-	SelectedUS  float64 `json:"selected_us"`
-	PipelinedUS float64 `json:"pipelined_us"`
-	PeakBytes   int64   `json:"peak_bytes"`
+	Network      string  `json:"network"`
+	NaiveUS      float64 `json:"naive_us"`
+	SelectedUS   float64 `json:"selected_us"`
+	PipelinedUS  float64 `json:"pipelined_us"`
+	ReplicatedUS float64 `json:"replicated_us"`
+	PeakBytes    int64   `json:"peak_bytes"`
 }
 
 func main() {
@@ -73,6 +75,7 @@ func main() {
 		}{
 			{"selected_us", base.SelectedUS, cur.SelectedUS, base.NaiveUS, cur.NaiveUS},
 			{"pipelined_us", base.PipelinedUS, cur.PipelinedUS, base.NaiveUS, cur.NaiveUS},
+			{"replicated_us", base.ReplicatedUS, cur.ReplicatedUS, base.NaiveUS, cur.NaiveUS},
 		} {
 			if m.baseV <= 0 || m.baseNorm <= 0 {
 				continue // metric not in the baseline: nothing to guard

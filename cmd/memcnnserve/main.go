@@ -12,10 +12,20 @@
 // bit-identical to the single-device path while each stage reports modeled
 // device latency.
 //
+// With -replicas N the program is instead replicated across N device groups
+// (internal/runtime/replica): each batch splits into per-replica sub-batches
+// weighted by modeled device throughput, runs concurrently and reassembles
+// bit-identically; -replica-devices picks the hardware mix ("titanblack,
+// titanx" alternates the paper's two cards) and -devices M pipeline-shards
+// every replica across M devices, composing data and model parallelism.
+// -cache N puts a checksum-keyed N-entry LRU result cache with single-flight
+// in front of the batching queue, so repeated inputs skip execution entirely.
+//
 // Usage:
 //
 //	memcnnserve -network LeNet -addr :8080
 //	memcnnserve -network LeNet -select -devices 2 -demo 256
+//	memcnnserve -network LeNet -replicas 4 -replica-devices titanblack,titanx -cache 256 -demo 512
 //	memcnnserve -network TinyNet -demo 256      # self-driving load test
 //
 // Endpoints:
@@ -42,6 +52,7 @@ import (
 	"memcnn/internal/layout"
 	"memcnn/internal/network"
 	memruntime "memcnn/internal/runtime"
+	"memcnn/internal/runtime/replica"
 	"memcnn/internal/tensor"
 	"memcnn/internal/workloads"
 )
@@ -55,7 +66,10 @@ func main() {
 		maxDelay    = flag.Duration("delay", 2*time.Millisecond, "max time a request waits for its batch to fill")
 		workers     = flag.Int("workers", 2, "concurrent batch executors")
 		selectAlgs  = flag.Bool("select", false, "compile with per-layer convolution algorithm selection (verified against ReferenceForward at startup)")
-		devices     = flag.Int("devices", 1, "pipeline the program across N simulated devices (1 = single-device executor)")
+		devices     = flag.Int("devices", 1, "pipeline the program (or, with -replicas, each replica) across N simulated devices (1 = no pipelining)")
+		replicas    = flag.Int("replicas", 1, "replicate the program across N devices, splitting each batch by modeled throughput (1 = no data parallelism)")
+		replicaDevs = flag.String("replica-devices", "", "comma-separated replica hardware (titanblack, titanx or cpu), cycled across -replicas; default titanblack")
+		cacheSize   = flag.Int("cache", 0, "memoise per-image results keyed by input checksum in an N-entry LRU (0 = no cache)")
 		demo        = flag.Int("demo", 0, "instead of listening, fire N synthetic concurrent requests and exit")
 	)
 	flag.Parse()
@@ -82,7 +96,26 @@ func main() {
 	// the exact runner traffic goes through.
 	var runner memruntime.Runner
 	var pipe *memruntime.PipelineExecutor
-	if *devices > 1 {
+	var group *replica.Group
+	switch {
+	case *replicas > 1:
+		fleet, err := replica.ParseDevices(*replicaDevs, *replicas, *devices)
+		if err != nil {
+			fail(err)
+		}
+		group, err = replica.NewGroup(prog, *replicas, replica.Config{Devices: fleet})
+		if err != nil {
+			fail(err)
+		}
+		defer group.Close()
+		fmt.Printf("replicated across %d device group(s), batch split by modeled throughput (modeled %.0f us/batch):\n",
+			group.Replicas(), group.ModeledBatchUS())
+		for _, st := range group.ReplicaStats() {
+			fmt.Printf("  replica %d on %s: %d of %d images/batch (weight %.3g), modeled %.0f us (scatter %.0f us)\n",
+				st.Replica, st.Devices, st.Share, prog.InputShape().N, st.Weight, st.ModeledUS, st.ScatterUS)
+		}
+		runner = group
+	case *devices > 1:
 		sp, err := memruntime.Shard(prog, *devices, memruntime.ShardOptions{
 			Devices: memruntime.SimDevices(*devices, gpusim.TitanBlack()),
 		})
@@ -99,7 +132,7 @@ func main() {
 		pipe = memruntime.NewPipelineExecutor(sp)
 		defer pipe.Close()
 		runner = pipe
-	} else {
+	default:
 		runner = memruntime.NewExecutor(prog)
 	}
 	if *selectAlgs {
@@ -110,9 +143,10 @@ func main() {
 	}
 
 	srv, err := memruntime.NewServerWith(prog, runner, memruntime.ServerConfig{
-		MaxBatch: *maxBatch,
-		MaxDelay: *maxDelay,
-		Workers:  *workers,
+		MaxBatch:     *maxBatch,
+		MaxDelay:     *maxDelay,
+		Workers:      *workers,
+		CacheEntries: *cacheSize,
 	})
 	if err != nil {
 		fail(err)
@@ -137,6 +171,19 @@ func main() {
 				fmt.Printf("  stage %d on %s: %d batches, modeled %.1f us/batch, measured %.1f us/batch\n",
 					d.Stage, d.Device, d.Batches, d.ModeledUS, d.MeasuredUS)
 			}
+		}
+		if group != nil {
+			for _, st := range group.ReplicaStats() {
+				if st.Batches == 0 {
+					continue
+				}
+				fmt.Printf("  replica %d on %s: %d sub-batches of %d images, modeled %.1f us, measured %.1f us\n",
+					st.Replica, st.Devices, st.Batches, st.Share, st.ModeledUS, st.MeasuredUS)
+			}
+		}
+		if cs := srv.Stats().Cache; cs != nil {
+			fmt.Printf("cache: %d hits, %d misses, %d evictions (%d of %d entries)\n",
+				cs.Hits, cs.Misses, cs.Evictions, cs.Size, cs.Capacity)
 		}
 		return
 	}

@@ -16,6 +16,14 @@
 // op counts, arena bytes, cross-device transfer bytes and modeled device
 // latency — plus measured per-stage wall time when -exec runs the pipeline.
 //
+// The -replicas flag (with -runtime) replicates each compiled program across
+// N devices (-replica-devices picks the hardware mix) and reports the
+// throughput-weighted per-replica batch shares and the modeled speedup over
+// one device; with -exec it also measures the replicated full-batch latency
+// against the single executor and drives a duplicated-traffic burst through
+// the cached batching server, recording cache hit/miss counters — all of it
+// lands in the JSON records.
+//
 // Usage:
 //
 //	netbench                         # Fig. 14 on the Titan Black model
@@ -24,16 +32,19 @@
 //	netbench -runtime                # memory plans + conv algorithms
 //	netbench -runtime -exec          # plus measured throughput (small nets)
 //	netbench -runtime -devices 4     # pipeline-sharded per-stage breakdown
+//	netbench -runtime -replicas 4 -replica-devices titanblack,titanx -exec
 //	netbench -runtime -exec -json BENCH_runtime.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	goruntime "runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"memcnn/internal/bench"
@@ -42,6 +53,7 @@ import (
 	"memcnn/internal/layout"
 	"memcnn/internal/network"
 	memruntime "memcnn/internal/runtime"
+	"memcnn/internal/runtime/replica"
 	"memcnn/internal/tensor"
 	"memcnn/internal/workloads"
 )
@@ -57,6 +69,8 @@ func main() {
 		selectAlgs  = flag.Bool("select", true, "with -runtime: select the convolution algorithm per layer (direct vs im2col+GEMM)")
 		probe       = flag.Bool("probe", false, "with -runtime -select: pick each conv algorithm by timing both kernels instead of the analytic heuristic")
 		devices     = flag.Int("devices", 1, "with -runtime: shard each program across N simulated devices and report the per-stage breakdown")
+		replicas    = flag.Int("replicas", 1, "with -runtime: replicate each program across N devices and report the throughput-weighted batch split")
+		replicaDevs = flag.String("replica-devices", "", "with -replicas: comma-separated replica hardware (titanblack, titanx or cpu), cycled; default titanblack")
 		jsonPath    = flag.String("json", "", "with -runtime: write per-network latency/alloc stats to this file as JSON")
 	)
 	flag.Parse()
@@ -76,7 +90,8 @@ func main() {
 
 	if *runtimeView {
 		opts := memruntime.Options{ConvAlgorithms: *selectAlgs, Probe: *probe}
-		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, *jsonPath); err != nil {
+		rc := replicaConfig{count: *replicas, spec: *replicaDevs}
+		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, rc, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -159,6 +174,17 @@ type stageJSON struct {
 	MeasuredUS      float64 `json:"measured_us,omitempty"`
 }
 
+// replicaJSON is the machine-readable record of one replica under -replicas.
+type replicaJSON struct {
+	Replica    int     `json:"replica"`
+	Devices    string  `json:"devices"`
+	Weight     float64 `json:"weight"`
+	Share      int     `json:"share"`
+	ScatterUS  float64 `json:"scatter_us,omitempty"`
+	ModeledUS  float64 `json:"modeled_us,omitempty"`
+	MeasuredUS float64 `json:"measured_us,omitempty"`
+}
+
 // netReport is the machine-readable per-network record written by -json; it
 // is the seed of the BENCH_*.json perf trajectory.
 type netReport struct {
@@ -180,6 +206,24 @@ type netReport struct {
 	Stages          []stageJSON `json:"stages,omitempty"`
 	PipelinedUS     float64     `json:"pipelined_us,omitempty"`
 
+	// Replication stats, present with -replicas > 1: the throughput-weighted
+	// per-replica batch shares, the modeled full-batch latency through the
+	// group (slowest replica, contended scatter included) against the
+	// single-device modeled latency, and — with -exec — the measured
+	// replicated latency, the measured speedup over the single executor and
+	// the result-cache counters from a short duplicated-traffic serving
+	// burst.
+	Replicas               int           `json:"replicas,omitempty"`
+	ReplicaRecords         []replicaJSON `json:"replica_shares,omitempty"`
+	ReplicatedModeledUS    float64       `json:"replicated_modeled_us,omitempty"`
+	SingleModeledUS        float64       `json:"single_modeled_us,omitempty"`
+	ModeledReplicaSpeedup  float64       `json:"modeled_replica_speedup,omitempty"`
+	ReplicatedUS           float64       `json:"replicated_us,omitempty"`
+	MeasuredReplicaSpeedup float64       `json:"measured_replica_speedup,omitempty"`
+	CacheHits              uint64        `json:"cache_hits,omitempty"`
+	CacheMisses            uint64        `json:"cache_misses,omitempty"`
+	CacheEvictions         uint64        `json:"cache_evictions,omitempty"`
+
 	// Execution stats, present with -exec.
 	NaiveUS            float64 `json:"naive_us,omitempty"`
 	DirectUS           float64 `json:"direct_us,omitempty"`
@@ -196,7 +240,13 @@ type netReport struct {
 // sub-second networks (LeNet, Cifar10); selecting a single network with
 // -network overrides that guard.  A non-empty jsonPath collects the reports
 // into a JSON file.
-func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, jsonPath string) error {
+// replicaConfig carries the -replicas/-replica-devices flags.
+type replicaConfig struct {
+	count int
+	spec  string
+}
+
+func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, rc replicaConfig, jsonPath string) error {
 	nets, err := workloads.Networks()
 	if err != nil {
 		return err
@@ -261,6 +311,11 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 		if devices > 1 {
 			if err := shardReport(dev, prog, devices, exec && (cheap[name] || len(targets) == 1), &rep); err != nil {
 				return fmt.Errorf("netbench: sharding %s: %w", name, err)
+			}
+		}
+		if rc.count > 1 {
+			if err := replicaReport(prog, rc, exec && (cheap[name] || len(targets) == 1), &rep); err != nil {
+				return fmt.Errorf("netbench: replicating %s: %w", name, err)
 			}
 		}
 		reports = append(reports, rep)
@@ -340,6 +395,129 @@ func shardReport(hw *gpusim.Device, prog *memruntime.Program, n int, exec bool, 
 	}
 	if exec {
 		fmt.Printf("           pipelined batch: %.0f us measured end-to-end\n", rep.PipelinedUS)
+	}
+	return nil
+}
+
+// replicaReport replicates the compiled program across the configured device
+// fleet and prints the throughput-weighted batch split and the modeled
+// speedup over one device; with exec it also measures the replicated
+// full-batch latency against the single executor and drives a short
+// duplicated-traffic serving burst through the cached batching server so the
+// JSON record carries cache hit/miss counters.
+func replicaReport(prog *memruntime.Program, rc replicaConfig, exec bool, rep *netReport) error {
+	fleet, err := replica.ParseDevices(rc.spec, rc.count, 1)
+	if err != nil {
+		return err
+	}
+	g, err := replica.NewGroup(prog, rc.count, replica.Config{Devices: fleet})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	rep.Replicas = g.Replicas()
+	rep.ReplicatedModeledUS = g.ModeledBatchUS()
+	if sd, ok := fleet[0][0].(*memruntime.SimDevice); ok {
+		rep.SingleModeledUS = sd.ModelProgramUS(prog)
+		if rep.ReplicatedModeledUS > 0 {
+			rep.ModeledReplicaSpeedup = rep.SingleModeledUS / rep.ReplicatedModeledUS
+		}
+	}
+	line := fmt.Sprintf("         replicated across %d device(s)", g.Replicas())
+	if rep.ModeledReplicaSpeedup > 0 {
+		line += fmt.Sprintf(": modeled %.0f us/batch vs %.0f us single-device (%.2fx)",
+			rep.ReplicatedModeledUS, rep.SingleModeledUS, rep.ModeledReplicaSpeedup)
+	}
+	fmt.Println(line)
+
+	if exec {
+		in := tensor.Random(prog.InputShape(), tensor.NCHW, 1)
+		out := tensor.New(prog.OutputShape(), tensor.NCHW)
+		single := memruntime.NewExecutor(prog)
+		if err := single.RunInto(in, out); err != nil { // warm the arena pool
+			return err
+		}
+		singleTime, _, err := minOverSamples(func() (time.Duration, uint64, error) {
+			start := time.Now()
+			err := single.RunInto(in, out)
+			return time.Since(start), 0, err
+		})
+		if err != nil {
+			return err
+		}
+		if err := g.RunInto(in, out); err != nil { // warm every replica arena
+			return err
+		}
+		replicated, _, err := minOverSamples(func() (time.Duration, uint64, error) {
+			start := time.Now()
+			err := g.RunInto(in, out)
+			return time.Since(start), 0, err
+		})
+		if err != nil {
+			return err
+		}
+		rep.ReplicatedUS = float64(replicated.Microseconds())
+		if replicated > 0 {
+			rep.MeasuredReplicaSpeedup = singleTime.Seconds() / replicated.Seconds()
+		}
+		fmt.Printf("           measured %.0f us/batch replicated vs %.0f us single-executor (%.2fx)\n",
+			rep.ReplicatedUS, float64(singleTime.Microseconds()), rep.MeasuredReplicaSpeedup)
+		if err := replicaCacheBurst(prog, g, rep); err != nil {
+			return err
+		}
+	}
+	for _, st := range g.ReplicaStats() {
+		rj := replicaJSON{
+			Replica: st.Replica, Devices: st.Devices, Weight: st.Weight, Share: st.Share,
+			ScatterUS: st.ScatterUS, ModeledUS: st.ModeledUS,
+		}
+		line := fmt.Sprintf("           replica %d on %-38s %3d of %d images", st.Replica, st.Devices+":", st.Share, prog.InputShape().N)
+		if st.ModeledUS > 0 {
+			line += fmt.Sprintf(", modeled %8.0f us", st.ModeledUS)
+		}
+		if exec && st.Batches > 0 {
+			rj.MeasuredUS = st.MeasuredUS
+			line += fmt.Sprintf(", measured %8.0f us", st.MeasuredUS)
+		}
+		fmt.Println(line)
+		rep.ReplicaRecords = append(rep.ReplicaRecords, rj)
+	}
+	return nil
+}
+
+// replicaCacheBurst serves a short burst of duplicated single-image traffic
+// through the cached batching server fronting the replica group, recording
+// the cache counters: 8 distinct images requested 64 times must execute at
+// most 8 times (single-flight plus memoisation).
+func replicaCacheBurst(prog *memruntime.Program, g *replica.Group, rep *netReport) error {
+	srv, err := memruntime.NewServerWith(prog, g, memruntime.ServerConfig{
+		Workers: 2, CacheEntries: 64,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	in := prog.InputShape()
+	imgShape := tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}
+	images := make([]*tensor.Tensor, 8)
+	for i := range images {
+		images[i] = tensor.Random(imgShape, tensor.NCHW, uint64(1000+i))
+	}
+	const requests = 64
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = srv.Infer(context.Background(), images[i%len(images)])
+		}(i)
+	}
+	wg.Wait()
+	if cs := srv.Stats().Cache; cs != nil {
+		rep.CacheHits, rep.CacheMisses, rep.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+		fmt.Printf("           cache burst: %d requests -> %d hits, %d misses, %d evictions\n",
+			requests, cs.Hits, cs.Misses, cs.Evictions)
 	}
 	return nil
 }

@@ -26,17 +26,28 @@
 // The execution stack is device-abstracted: ops run through a runtime.Device
 // — the native CPU, or a simulated GPU that computes real results while
 // pricing every op on the internal/gpusim hardware model — and a compiled
-// program can be sharded into contiguous pipeline stages across several
-// devices (FLOPs- or bytes-balanced cuts, explicit cross-device transfers,
-// one arena plan per stage).  The pipelined executor streams batches through
-// the stages bit-identically to the single-device run.  A dynamic
-// micro-batching server coalesces concurrent single-image requests into
-// planned batched executions over either engine; cmd/memcnnserve serves it
-// over HTTP (`-select` verifies the algorithm-selected program against its
-// functional reference at startup, `-devices N` pipelines across simulated
-// devices) and `netbench -runtime` reports every network's arena footprint,
-// per-layer algorithm choice, per-stage sharding breakdown (-devices) and
-// (with -exec/-json) measured direct-vs-selected throughput.
+// program scales along two axes.  Model parallelism: the program is sharded
+// into contiguous pipeline stages across several devices (FLOPs- or
+// bytes-balanced cuts, explicit cross-device transfers, one arena plan per
+// stage), and the pipelined executor streams batches through the stages
+// bit-identically to the single-device run.  Data parallelism: the
+// runtime/replica scheduler clones the program across N devices (shared
+// read-only weights, per-replica arena pools) and splits every batch into
+// sub-batches weighted by modeled — or, on the CPU, probed — per-device
+// throughput, so heterogeneous TitanBlack+TitanX fleets balance wall-clock;
+// replicas may themselves be pipeline-sharded, composing both axes, and the
+// modeled batch scatter divides interconnect bandwidth among the overlapping
+// transfers.  A dynamic micro-batching server coalesces concurrent
+// single-image requests into planned batched executions over any engine,
+// optionally behind a checksum-keyed LRU result cache with single-flight
+// (repeated inputs skip execution entirely); cmd/memcnnserve serves it over
+// HTTP (`-select` verifies the serving engine against its functional
+// reference at startup, `-devices N` pipelines across simulated devices,
+// `-replicas N`/`-replica-devices`/`-cache N` switch on replication and the
+// cache) and `netbench -runtime` reports every network's arena footprint,
+// per-layer algorithm choice, per-stage sharding breakdown (-devices),
+// per-replica batch shares with modeled and measured speedup (-replicas) and
+// (with -exec/-json) measured throughput plus cache hit/miss counters.
 //
 // The public entry points live under internal/ because the module is a
 // self-contained reproduction rather than an importable SDK; the cmd/ tools

@@ -43,6 +43,14 @@ func (s *Softmax) SupportsLayout(l tensor.Layout) bool {
 	return l == tensor.CHWN || l == tensor.NCHW
 }
 
+// WithBatch implements Rebatcher: the classifier is stateless, so the clone
+// only changes the batch dimension.
+func (s *Softmax) WithBatch(batch int) (Layer, error) {
+	cfg := s.Cfg
+	cfg.N = batch
+	return NewSoftmax(s.LayerName, cfg)
+}
+
 // Cost implements Layer.
 func (s *Softmax) Cost(d *gpusim.Device, l tensor.Layout, opts CostOptions) ([]gpusim.KernelStats, error) {
 	if !s.SupportsLayout(l) {
@@ -121,6 +129,11 @@ type FullyConnected struct {
 	OutDim    int
 	Seed      uint64
 
+	// parent, when non-nil, is the layer this one was rebatched from: the
+	// weight matrix is adopted from it on first use instead of regenerated,
+	// so every rebatched clone shares one weight set.
+	parent *FullyConnected
+
 	weightsOnce sync.Once
 	weights     []float32
 }
@@ -151,6 +164,18 @@ func (f *FullyConnected) SupportsLayout(l tensor.Layout) bool {
 	return l == tensor.CHWN || l == tensor.NCHW
 }
 
+// WithBatch implements Rebatcher: the clone multiplies by the receiver's
+// weight matrix (shared lazily through the parent link, not regenerated), so
+// per-image results are bit-identical at any batch size.
+func (f *FullyConnected) WithBatch(batch int) (Layer, error) {
+	nf, err := NewFullyConnected(f.LayerName, batch, f.InDim, f.OutDim, f.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nf.parent = f
+	return nf, nil
+}
+
 // Cost implements Layer: one SGEMM of (OutDim × InDim) by (InDim × Batch).
 func (f *FullyConnected) Cost(d *gpusim.Device, l tensor.Layout, _ CostOptions) ([]gpusim.KernelStats, error) {
 	if !f.SupportsLayout(l) {
@@ -162,10 +187,15 @@ func (f *FullyConnected) Cost(d *gpusim.Device, l tensor.Layout, _ CostOptions) 
 }
 
 // Weights returns (generating on first use) the deterministic weight matrix,
-// row-major OutDim×InDim.  Generation is once-guarded so concurrent executor
-// instances can share the layer.
+// row-major OutDim×InDim — adopted from the rebatch parent when there is
+// one.  Generation is once-guarded so concurrent executor instances can
+// share the layer.
 func (f *FullyConnected) Weights() []float32 {
 	f.weightsOnce.Do(func() {
+		if f.parent != nil {
+			f.weights = f.parent.Weights()
+			return
+		}
 		t := tensor.Random(tensor.Shape{N: f.OutDim, C: f.InDim, H: 1, W: 1}, tensor.NCHW, f.Seed)
 		f.weights = t.Data
 	})
@@ -264,6 +294,14 @@ func (r *ReLU) OutputShape() tensor.Shape { return r.Shape }
 
 // SupportsLayout implements Layer.
 func (r *ReLU) SupportsLayout(tensor.Layout) bool { return true }
+
+// WithBatch implements Rebatcher: the rectifier is stateless, so the clone
+// only changes the batch dimension.
+func (r *ReLU) WithBatch(batch int) (Layer, error) {
+	shape := r.Shape
+	shape.N = batch
+	return NewReLU(r.LayerName, shape)
+}
 
 // Cost implements Layer: one streaming pass, read + write.
 func (r *ReLU) Cost(d *gpusim.Device, _ tensor.Layout, _ CostOptions) ([]gpusim.KernelStats, error) {
@@ -371,6 +409,14 @@ func (l *LRN) OutputShape() tensor.Shape { return l.Shape }
 
 // SupportsLayout implements Layer.
 func (l *LRN) SupportsLayout(tensor.Layout) bool { return true }
+
+// WithBatch implements Rebatcher: normalisation is stateless, so the clone
+// only changes the batch dimension.
+func (l *LRN) WithBatch(batch int) (Layer, error) {
+	shape := l.Shape
+	shape.N = batch
+	return NewLRN(l.LayerName, shape, l.LocalSize, l.Alpha, l.Beta)
+}
 
 // Cost implements Layer: the cross-channel window makes it read the
 // neighbourhood of every element; part of the re-reads hit in cache.

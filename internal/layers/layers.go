@@ -163,6 +163,21 @@ type WorkspaceForwarder interface {
 	ForwardIntoWorkspace(in, dst *tensor.Tensor, scratch []float32) error
 }
 
+// Rebatcher is an optional extension of Layer implemented by layers that can
+// clone themselves at a different batch size.  The clone computes the same
+// per-image function — weights (convolution filter banks, fully-connected
+// weight matrices) are shared with the original, not regenerated — so a batch
+// processed in slices across rebatched clones is bit-identical to the same
+// batch processed whole: every layer handles images independently and fixes
+// its per-image accumulation order regardless of batch size.  The
+// data-parallel replica scheduler (internal/runtime/replica) uses it to
+// compile per-replica sub-batch programs against one shared weight set.
+type Rebatcher interface {
+	// WithBatch returns a layer identical to the receiver except for the
+	// batch dimension of its input and output shapes.
+	WithBatch(batch int) (Layer, error)
+}
+
 // GemmForwarder is implemented by convolution layers that can execute the
 // im2col+GEMM strategy (Section II.B) into caller-provided output and
 // workspace.  The planned-execution engine selects direct vs GEMM per layer
@@ -190,6 +205,12 @@ type Conv struct {
 	Cfg       kernels.ConvConfig
 	// Seed generates the deterministic filter bank used by Forward.
 	Seed uint64
+
+	// parent, when non-nil, is the layer this one was rebatched from: the
+	// filter bank (and its packed GEMM operand) is adopted from the parent on
+	// first use instead of being regenerated, so every rebatched clone shares
+	// one weight set.
+	parent *Conv
 
 	filtersOnce sync.Once
 	filters     *tensor.Tensor
@@ -221,10 +242,14 @@ func (c *Conv) SupportsLayout(l tensor.Layout) bool {
 }
 
 // Filters returns (generating on first use) the layer's deterministic filter
-// bank.  Generation is once-guarded so concurrent executor instances can
-// share the layer.
+// bank — adopted from the rebatch parent when there is one.  Generation is
+// once-guarded so concurrent executor instances can share the layer.
 func (c *Conv) Filters() *tensor.Tensor {
 	c.filtersOnce.Do(func() {
+		if c.parent != nil {
+			c.filters = c.parent.Filters()
+			return
+		}
 		c.filters = tensor.Filters(c.Cfg.K, c.Cfg.C, c.Cfg.FH, c.Cfg.FW, c.Seed)
 	})
 	return c.filters
@@ -234,9 +259,14 @@ func (c *Conv) Filters() *tensor.Tensor {
 func (c *Conv) Config() kernels.ConvConfig { return c.Cfg }
 
 // PackedFilters implements GemmForwarder: the filter bank flattened once into
-// the K×(C·FH·FW) GEMM operand.
+// the K×(C·FH·FW) GEMM operand — adopted from the rebatch parent when there
+// is one (the packed layout does not depend on the batch size).
 func (c *Conv) PackedFilters() []float32 {
 	c.packOnce.Do(func() {
+		if c.parent != nil {
+			c.packed = c.parent.PackedFilters()
+			return
+		}
 		packed, err := kernels.PackConvFilters(c.Filters(), c.Cfg)
 		if err != nil {
 			// NewConv validated the config and Filters matches it by
@@ -256,6 +286,22 @@ func (c *Conv) GemmWorkspaceElems(outLayout tensor.Layout) int {
 // ForwardIntoGemm implements GemmForwarder.
 func (c *Conv) ForwardIntoGemm(in, dst *tensor.Tensor, scratch []float32) error {
 	return kernels.ConvIm2colGemmInto(in, c.PackedFilters(), dst, c.Cfg, scratch)
+}
+
+// WithBatch implements Rebatcher: the clone convolves with the receiver's
+// filter bank (shared lazily through the parent link, not regenerated —
+// including the packed GEMM operand, which is only materialised if a GEMM
+// program actually needs it), so per-image results are bit-identical at any
+// batch size.
+func (c *Conv) WithBatch(batch int) (Layer, error) {
+	cfg := c.Cfg
+	cfg.N = batch
+	nc, err := NewConv(c.LayerName, cfg, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	nc.parent = c
+	return nc, nil
 }
 
 // Cost implements Layer.
@@ -345,6 +391,14 @@ func (p *Pool) OutputShape() tensor.Shape { return p.Cfg.OutputShape() }
 // SupportsLayout implements Layer.
 func (p *Pool) SupportsLayout(l tensor.Layout) bool {
 	return l == tensor.CHWN || l == tensor.NCHW
+}
+
+// WithBatch implements Rebatcher: pooling is stateless, so the clone only
+// changes the batch dimension.
+func (p *Pool) WithBatch(batch int) (Layer, error) {
+	cfg := p.Cfg
+	cfg.N = batch
+	return NewPool(p.LayerName, cfg)
 }
 
 // Cost implements Layer.

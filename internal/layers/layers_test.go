@@ -368,3 +368,41 @@ func TestImplStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestWithBatchSharesWeights checks the Rebatcher contract: a rebatched conv
+// or fully-connected layer adopts its parent's weight storage lazily — same
+// backing arrays, no regeneration — and the packed GEMM operand is only
+// materialised when a GEMM program asks for it.
+func TestWithBatchSharesWeights(t *testing.T) {
+	c := testConvLayer(t)
+	rb, err := c.WithBatch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := rb.(*Conv)
+	if nc.InputShape().N != 5 || nc.OutputShape().N != 5 {
+		t.Fatalf("rebatched conv has shapes %v -> %v, want batch 5", nc.InputShape(), nc.OutputShape())
+	}
+	if nc.packed != nil || c.packed != nil {
+		t.Error("WithBatch materialised the packed GEMM operand eagerly")
+	}
+	if &nc.Filters().Data[0] != &c.Filters().Data[0] {
+		t.Error("rebatched conv does not share its parent's filter storage")
+	}
+	if &nc.PackedFilters()[0] != &c.PackedFilters()[0] {
+		t.Error("rebatched conv does not share its parent's packed operand")
+	}
+
+	f, err := NewFullyConnected("fc1", 2, 12, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := f.WithBatch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := rf.(*FullyConnected)
+	if &nf.Weights()[0] != &f.Weights()[0] {
+		t.Error("rebatched fully-connected layer does not share its parent's weights")
+	}
+}

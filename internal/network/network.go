@@ -56,6 +56,31 @@ func New(name string, batch int, ls ...layers.Layer) (*Network, error) {
 	return &Network{Name: name, Batch: batch, Layers: ls}, nil
 }
 
+// WithBatch returns a network computing the same per-image function at a
+// different batch size: every layer is cloned through layers.Rebatcher, so
+// weights are shared with the receiver rather than regenerated.  A batch
+// processed in slices across such clones is bit-identical to the same batch
+// processed whole — the property the data-parallel replica scheduler builds
+// on.  The receiver itself is returned when the batch already matches.
+func (n *Network) WithBatch(batch int) (*Network, error) {
+	if batch == n.Batch {
+		return n, nil
+	}
+	ls := make([]layers.Layer, len(n.Layers))
+	for i, l := range n.Layers {
+		rb, ok := l.(layers.Rebatcher)
+		if !ok {
+			return nil, fmt.Errorf("network: %s layer %q cannot be rebatched", n.Name, l.Name())
+		}
+		nl, err := rb.WithBatch(batch)
+		if err != nil {
+			return nil, fmt.Errorf("network: %s rebatching layer %q: %w", n.Name, l.Name(), err)
+		}
+		ls[i] = nl
+	}
+	return New(n.Name, batch, ls...)
+}
+
 // InputShape returns the shape the network consumes.
 func (n *Network) InputShape() tensor.Shape { return n.Layers[0].InputShape() }
 

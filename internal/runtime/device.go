@@ -160,17 +160,27 @@ func (d *SimDevice) programCosts(prog *Program) []float64 {
 	return costs
 }
 
-// TransferInUS implements Device: bytes over the host interconnect plus one
-// launch overhead for the receiving copy kernel.
-func (d *SimDevice) TransferInUS(bytes int64) float64 {
-	if bytes <= 0 {
-		return 0
-	}
+// Link returns the modeled host interconnect the device's transfers ride on.
+// Overlapping transfers contend for it: the replica scheduler prices its batch
+// scatter with Interconnect.ScatterUS, dividing the link bandwidth among the
+// replicas it feeds at once.
+func (d *SimDevice) Link() gpusim.Interconnect {
 	bw := d.InterconnectGBs
 	if bw <= 0 {
 		bw = DefaultInterconnectGBs
 	}
-	return float64(bytes)/(bw*1e9)*1e6 + d.HW.LaunchOverheadUS
+	return gpusim.Interconnect{GBs: bw}
+}
+
+// TransferInUS implements Device: bytes over the (uncontended) host
+// interconnect plus one launch overhead for the receiving copy kernel.
+// Pipeline-stage transfers use this lone-transfer price — the stages of one
+// batch hand off serially, so their transfers do not overlap.
+func (d *SimDevice) TransferInUS(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return d.Link().TransferUS(bytes) + d.HW.LaunchOverheadUS
 }
 
 // ModelOpUS prices one op on the hardware model without executing it.  Layer

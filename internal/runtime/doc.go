@@ -51,16 +51,32 @@
 // the stages — one goroutine per stage, per-stage arena pools, pooled
 // boundary tensors — with results bit-identical to the unsharded executor.
 //
+// The complementary execution axis is data parallelism: the replica
+// sub-package clones a compiled program across N devices (shared read-only
+// weights via layers.Rebatcher and network.WithBatch, one arena pool per
+// replica) and splits every batch into per-replica sub-batches weighted by
+// modeled or probed device throughput, running them concurrently and
+// reassembling bit-identically.  CompileLike supports it by lowering a
+// rebatched network against the base program's per-layer layouts and
+// convolution algorithms instead of re-selecting by the sub-batch shape.
+// Replicas may themselves be pipeline-sharded, composing both axes; the
+// modeled cost of the batch scatter divides the interconnect bandwidth among
+// the simultaneous transfers (gpusim.Interconnect).
+//
 // Golden bit-equality holds per algorithm: direct-only programs reproduce the
 // naive Network.Forward exactly, while algorithm-selected programs reproduce
 // Program.ReferenceForward (the functional forward mirroring the recorded
 // per-layer choices); every kernel fixes its accumulation order so results do
 // not depend on layout, batching or worker count.
 //
-// On top of either engine, server.go provides a dynamic micro-batching
+// On top of any engine, server.go provides a dynamic micro-batching
 // front-end: many concurrent single-image requests coalesce into planned
 // batched executions (bounded by a maximum batch size and a maximum queueing
-// delay) running on any Runner — the single-device Executor or the sharded
-// PipelineExecutor, whose stages the server's concurrent workers keep filled.
-// That is how the planned engine serves traffic — see cmd/memcnnserve.
+// delay) running on any Runner — the single-device Executor, the sharded
+// PipelineExecutor or the data-parallel replica.Group, whose engines the
+// server's concurrent workers keep filled.  With ServerConfig.CacheEntries a
+// checksum-keyed result cache (cache.go: bounded LRU, hit/miss/eviction
+// counters, single-flight on concurrent identical inputs) sits in front of
+// the batching queue, so repeated inputs skip execution entirely.  That is
+// how the planned engine serves traffic — see cmd/memcnnserve.
 package runtime

@@ -95,11 +95,15 @@ type Op struct {
 type Program struct {
 	Net         *network.Network
 	PlannerName string
-	Buffers     []Buffer
-	Ops         []Op
-	Input       BufferID
-	Output      BufferID
-	Mem         *MemPlan
+	// Opts records the options the program was lowered with, so derived
+	// programs (CompileLike) can reproduce behaviour-affecting choices such
+	// as NoInPlace.
+	Opts    Options
+	Buffers []Buffer
+	Ops     []Op
+	Input   BufferID
+	Output  BufferID
+	Mem     *MemPlan
 }
 
 // InputShape returns the shape the program consumes.
@@ -160,7 +164,57 @@ func CompileWithOptions(plan *network.ExecutionPlan, opts Options) (*Program, er
 	for i, pl := range plan.Layers {
 		layouts[i] = pl.Layout
 	}
-	return lower(plan.Network, plan.PlannerName, layouts, opts)
+	return lower(plan.Network, plan.PlannerName, layouts, opts, nil)
+}
+
+// CompileLike lowers a network against the shape of an already compiled
+// program: per-layer layouts and convolution algorithms are copied from the
+// base rather than re-planned or re-selected.  The network must have the same
+// layer stack as the base's (typically a Network.WithBatch clone at a
+// different batch size); pinning the algorithms matters because golden
+// bit-equality holds per algorithm, and autotune would select by shape —
+// a sub-batch clone left to its own selection could pick direct where the
+// base runs GEMM and drift from the base's bits.  The data-parallel replica
+// scheduler compiles every per-replica sub-batch program this way.
+func CompileLike(base *Program, net *network.Network) (*Program, error) {
+	if base == nil {
+		return nil, fmt.Errorf("runtime: cannot compile against a nil base program")
+	}
+	if net == nil || len(net.Layers) != len(base.Net.Layers) {
+		return nil, fmt.Errorf("runtime: network does not match the base program's layer stack")
+	}
+	layouts := make([]tensor.Layout, len(net.Layers))
+	forced := make([]kernels.ConvAlgorithm, len(net.Layers))
+	li := 0
+	for _, op := range base.Ops {
+		if op.Kind != OpLayer {
+			continue
+		}
+		bl, nl := base.Net.Layers[li], net.Layers[li]
+		if bl.Name() != nl.Name() {
+			return nil, fmt.Errorf("runtime: layer %d is %q in the base, %q in the network",
+				li, bl.Name(), nl.Name())
+		}
+		// Per-image geometry must match; only the batch dimension may differ.
+		bin, nin := bl.InputShape(), nl.InputShape()
+		bout, nout := bl.OutputShape(), nl.OutputShape()
+		if bin.C != nin.C || bin.H != nin.H || bin.W != nin.W ||
+			bout.C != nout.C || bout.H != nout.H || bout.W != nout.W {
+			return nil, fmt.Errorf("runtime: layer %q is %v->%v in the base, %v->%v in the network",
+				nl.Name(), bin, bout, nin, nout)
+		}
+		// The layer runs in its input buffer's layout: lower inserts the
+		// transform bringing the activations there before the layer op.
+		layouts[li] = base.Buffers[op.In].Layout
+		forced[li] = op.Alg
+		li++
+	}
+	if li != len(net.Layers) {
+		return nil, fmt.Errorf("runtime: base program has %d layer ops for %d layers", li, len(net.Layers))
+	}
+	// Algorithm selection is pinned through forced; the remaining lowering
+	// choices (in-place aliasing) follow the base program's options.
+	return lower(net, base.PlannerName, layouts, Options{NoInPlace: base.Opts.NoInPlace}, forced)
 }
 
 // CompileFixed lowers a network with every layer in one layout, the
@@ -182,7 +236,7 @@ func CompileFixedWithOptions(net *network.Network, layout tensor.Layout, opts Op
 		}
 		layouts[i] = layout
 	}
-	return lower(net, fmt.Sprintf("fixed-%v", layout), layouts, opts)
+	return lower(net, fmt.Sprintf("fixed-%v", layout), layouts, opts, nil)
 }
 
 // selectConvAlgorithm picks the convolution strategy for one conv layer,
@@ -196,8 +250,10 @@ func selectConvAlgorithm(gf layers.GemmForwarder, lay tensor.Layout, opts Option
 }
 
 // lower builds the op list for a network given the layout each layer runs in.
-func lower(net *network.Network, plannerName string, layouts []tensor.Layout, opts Options) (*Program, error) {
-	p := &Program{Net: net, PlannerName: plannerName}
+// A non-nil forced slice pins the convolution algorithm per layer (CompileLike
+// copying a base program's choices); otherwise layers select per opts.
+func lower(net *network.Network, plannerName string, layouts []tensor.Layout, opts Options, forced []kernels.ConvAlgorithm) (*Program, error) {
+	p := &Program{Net: net, PlannerName: plannerName, Opts: opts}
 	newBuf := func(shape tensor.Shape, layout tensor.Layout, alias BufferID) BufferID {
 		id := BufferID(len(p.Buffers))
 		p.Buffers = append(p.Buffers, Buffer{ID: id, Shape: shape, Layout: layout, AliasOf: alias})
@@ -251,16 +307,24 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 		}
 		out := newBuf(l.OutputShape(), lay, alias)
 		op := Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out, Scratch: NoBuffer}
-		if gf, ok := l.(layers.GemmForwarder); ok && opts.ConvAlgorithms {
-			alg, err := selectConvAlgorithm(gf, lay, opts)
-			if err != nil {
-				return nil, fmt.Errorf("runtime: selecting algorithm for %q: %w", l.Name(), err)
+		if gf, ok := l.(layers.GemmForwarder); ok && (opts.ConvAlgorithms || forced != nil) {
+			var alg kernels.ConvAlgorithm
+			if forced != nil {
+				alg = forced[i]
+			} else {
+				var err error
+				alg, err = selectConvAlgorithm(gf, lay, opts)
+				if err != nil {
+					return nil, fmt.Errorf("runtime: selecting algorithm for %q: %w", l.Name(), err)
+				}
 			}
 			if alg == kernels.ConvAlgGemm {
 				op.Alg = kernels.ConvAlgGemm
 				gf.PackedFilters() // pre-pack the GEMM operand once, at compile time
 				op.Scratch = newScratch(gf.GemmWorkspaceElems(lay))
 			}
+		} else if forced != nil && forced[i] == kernels.ConvAlgGemm {
+			return nil, fmt.Errorf("runtime: layer %q cannot run the pinned GEMM algorithm", l.Name())
 		} else if wf, ok := l.(layers.WorkspaceForwarder); ok {
 			if elems := wf.WorkspaceElems(); elems > 0 {
 				op.Scratch = newScratch(elems)

@@ -1,0 +1,539 @@
+// Package replica schedules data-parallel execution of a compiled program: a
+// Group clones the program across N devices — shared read-only weights, one
+// arena pool per replica — and serves each incoming batch by splitting it
+// into per-replica sub-batches, running them concurrently and reassembling
+// the outputs bit-identically to a single-device run.
+//
+// The split is heterogeneity-aware: each replica's slice of the batch is
+// proportional to its modeled throughput (SimDevice replicas are priced on
+// their internal/gpusim hardware model; native CPU replicas are measured with
+// a warmup probe), so a TitanBlack+TitanX-style mixed fleet finishes its
+// sub-batches in comparable wall time instead of idling the faster card.
+// Replicas may themselves be pipeline-sharded across several devices
+// (runtime.Shard inside the replica), composing data parallelism with the
+// pipeline's model parallelism.
+//
+// Bit-identical reassembly rests on two properties the rest of the runtime
+// already guarantees: every layer processes images independently with a fixed
+// per-image accumulation order (so a sub-batch computes exactly the rows of
+// the full batch it was handed), and per-replica programs are compiled with
+// runtime.CompileLike, which pins the base program's per-layer layouts and
+// convolution algorithms (golden bit-equality holds per algorithm, and
+// autotune would otherwise re-select by the smaller sub-batch shape).
+//
+// The modeled cost of feeding the replicas accounts for interconnect
+// contention: the batch scatter starts one transfer per simulated replica at
+// the same instant, and gpusim.Interconnect.ScatterUS divides the link
+// bandwidth among them (K overlapping transfers run at 1/K the lone rate).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+)
+
+// Config tunes how a Group is built.
+type Config struct {
+	// Devices assigns each replica its device list: one device runs the
+	// replica on a single executor, several pipeline-shard the replica's
+	// program across them (data × model parallelism).  nil gives every
+	// replica the native CPU device; an empty inner slice does the same for
+	// that replica.
+	Devices [][]runtime.Device
+	// Weights fixes the per-replica throughput weights explicitly (len must
+	// equal the replica count; weights must be non-negative with a positive
+	// sum, and a replica weighted 0 receives no images).  When nil the
+	// weights are derived from the devices: modeled throughput for simulated
+	// devices, a warmup-probe measurement for CPU devices.
+	Weights []float64
+	// WarmupProbes is the number of timed runs a CPU-device weight probe
+	// takes (the minimum is used, filtering scheduler noise).  Default 2.
+	WarmupProbes int
+}
+
+// Group replicates a compiled program across devices and implements
+// runtime.Runner by scattering each batch over the replicas.  RunInto is safe
+// for concurrent use: every call slices its own sub-batch views and each
+// replica's executor draws a private arena instance per run.
+type Group struct {
+	base     *runtime.Program
+	units    []*unit
+	weights  []float64
+	shares   []int
+	scatter  []float64 // modeled contended scatter cost per replica, us/batch
+	inShape  tensor.Shape
+	outShape tensor.Shape
+
+	inPool  sync.Pool // staging for non-NCHW callers
+	outPool sync.Pool
+
+	mu      sync.Mutex
+	closed  bool
+	batches atomic.Uint64
+}
+
+// unit is one replica: its sub-batch program and the engine running it.
+type unit struct {
+	index   int
+	devices []runtime.Device
+	share   int
+	offset  int
+	prog    *runtime.Program          // nil when share == 0
+	exec    *runtime.Executor         // single-device replica
+	pipe    *runtime.PipelineExecutor // pipeline-sharded replica
+	modeled float64                   // static modeled us per sub-batch (0 on CPU)
+
+	batches    atomic.Uint64
+	measuredNS atomic.Int64
+}
+
+// NewGroup builds a replica group for a compiled program.  Close must be
+// called to stop the stage goroutines of pipeline-sharded replicas.
+func NewGroup(base *runtime.Program, replicas int, cfg Config) (*Group, error) {
+	if base == nil {
+		return nil, fmt.Errorf("replica: cannot replicate a nil program")
+	}
+	if replicas <= 0 {
+		return nil, fmt.Errorf("replica: replica count %d must be positive", replicas)
+	}
+	if cfg.Devices != nil && len(cfg.Devices) != replicas {
+		return nil, fmt.Errorf("replica: %d device lists for %d replicas", len(cfg.Devices), replicas)
+	}
+	// Work on a copy of the outer slice: defaulting empty entries to the CPU
+	// must not write through to the caller's configuration.
+	devices := make([][]runtime.Device, replicas)
+	copy(devices, cfg.Devices)
+	for i, devs := range devices {
+		if len(devs) == 0 {
+			devices[i] = []runtime.Device{runtime.CPUDevice{}}
+		}
+	}
+
+	weights := cfg.Weights
+	if weights == nil {
+		weights = DeriveWeights(base, devices, cfg.WarmupProbes)
+	}
+	if len(weights) != replicas {
+		return nil, fmt.Errorf("replica: %d weights for %d replicas", len(weights), replicas)
+	}
+	shares, err := Shares(base.InputShape().N, weights)
+	if err != nil {
+		return nil, err
+	}
+
+	g := &Group{
+		base:     base,
+		weights:  append([]float64(nil), weights...),
+		shares:   shares,
+		inShape:  base.InputShape(),
+		outShape: base.OutputShape(),
+	}
+	g.inPool.New = func() any { return tensor.New(g.inShape, tensor.NCHW) }
+	g.outPool.New = func() any { return tensor.New(g.outShape, tensor.NCHW) }
+
+	offset := 0
+	for i, share := range shares {
+		u := &unit{index: i, devices: devices[i], share: share, offset: offset}
+		offset += share
+		if share > 0 {
+			if err := g.buildReplica(u); err != nil {
+				g.Close()
+				return nil, err
+			}
+		}
+		g.units = append(g.units, u)
+	}
+	g.scatter = g.modelScatter()
+	for _, u := range g.units {
+		u.modeled += g.scatter[u.index]
+	}
+	return g, nil
+}
+
+// buildReplica compiles the unit's sub-batch program (against the base's
+// layouts and algorithm choices, over the base network's shared weights) and
+// starts its engine.
+func (g *Group) buildReplica(u *unit) error {
+	net, err := g.base.Net.WithBatch(u.share)
+	if err != nil {
+		return fmt.Errorf("replica %d: %w", u.index, err)
+	}
+	prog, err := runtime.CompileLike(g.base, net)
+	if err != nil {
+		return fmt.Errorf("replica %d: %w", u.index, err)
+	}
+	u.prog = prog
+	if len(u.devices) == 1 {
+		u.exec = runtime.NewExecutorOn(prog, u.devices[0])
+		if sd, ok := u.devices[0].(*runtime.SimDevice); ok {
+			u.modeled = sd.ModelProgramUS(prog)
+		}
+		return nil
+	}
+	sp, err := runtime.Shard(prog, len(u.devices), runtime.ShardOptions{Devices: u.devices})
+	if err != nil {
+		return fmt.Errorf("replica %d: %w", u.index, err)
+	}
+	u.pipe = runtime.NewPipelineExecutor(sp)
+	for _, st := range sp.Stages {
+		if sd, ok := st.Device.(*runtime.SimDevice); ok {
+			u.modeled += sd.ModelProgramUS(st.Prog) + sd.TransferInUS(st.TransferInBytes)
+		}
+	}
+	return nil
+}
+
+// modelScatter prices the batch scatter: the sub-batch transfers onto every
+// simulated replica start together and contend for the shared link, so each
+// completes at the water-filled time gpusim.Interconnect.ScatterUS assigns it
+// (plus the receiving device's launch overhead).  CPU replicas are host-local
+// and free.
+func (g *Group) modelScatter() []float64 {
+	chw := int64(g.inShape.C) * int64(g.inShape.H) * int64(g.inShape.W) * 4
+	sizes := make([]int64, len(g.units))
+	var link gpusim.Interconnect
+	sims := 0
+	for i, u := range g.units {
+		if sd, ok := u.devices[0].(*runtime.SimDevice); ok && u.share > 0 {
+			sizes[i] = int64(u.share) * chw
+			link = sd.Link()
+			sims++
+		}
+	}
+	out := make([]float64, len(g.units))
+	if sims == 0 {
+		return out
+	}
+	done := link.ScatterUS(sizes)
+	for i, u := range g.units {
+		if sizes[i] > 0 {
+			out[i] = done[i] + u.devices[0].(*runtime.SimDevice).HW.LaunchOverheadUS
+		}
+	}
+	return out
+}
+
+// Base returns the program the group replicates.
+func (g *Group) Base() *runtime.Program { return g.base }
+
+// BatchShares returns the per-replica image counts one full batch splits
+// into; they sum to the program's batch size.
+func (g *Group) BatchShares() []int { return append([]int(nil), g.shares...) }
+
+// Weights returns the per-replica throughput weights the shares were derived
+// from.
+func (g *Group) Weights() []float64 { return append([]float64(nil), g.weights...) }
+
+// Replicas returns the replica count (including idle zero-share replicas).
+func (g *Group) Replicas() int { return len(g.units) }
+
+// Batches returns the number of full batches the group has served.
+func (g *Group) Batches() uint64 { return g.batches.Load() }
+
+// ModeledBatchUS returns the modeled wall time of one scattered batch: the
+// slowest replica's contended scatter transfer plus sub-batch execution.
+// Zero when no replica runs on a modeled device.
+func (g *Group) ModeledBatchUS() float64 {
+	var worst float64
+	for _, u := range g.units {
+		if u.modeled > worst {
+			worst = u.modeled
+		}
+	}
+	return worst
+}
+
+// RunInto implements runtime.Runner: the batch is scattered across the
+// replicas, the sub-batches run concurrently, and the outputs land in dst
+// exactly where a single-device run would put them.
+func (g *Group) RunInto(in, dst *tensor.Tensor) error {
+	if in.Shape != g.inShape {
+		return fmt.Errorf("replica: %s input shape %v, want %v", g.base.Net.Name, in.Shape, g.inShape)
+	}
+	if dst.Shape != g.outShape {
+		return fmt.Errorf("replica: %s output shape %v, want %v", g.base.Net.Name, dst.Shape, g.outShape)
+	}
+	// Sub-batch views slice images off the NCHW linearisation; callers in
+	// other layouts stage through pooled NCHW tensors.
+	src := in
+	if in.Layout != tensor.NCHW {
+		staged := g.inPool.Get().(*tensor.Tensor)
+		defer g.inPool.Put(staged)
+		if err := tensor.ConvertInto(in, staged); err != nil {
+			return fmt.Errorf("replica: staging input: %w", err)
+		}
+		src = staged
+	}
+	out := dst
+	if dst.Layout != tensor.NCHW {
+		staged := g.outPool.Get().(*tensor.Tensor)
+		defer g.outPool.Put(staged)
+		out = staged
+	}
+
+	chwIn := g.inShape.C * g.inShape.H * g.inShape.W
+	chwOut := g.outShape.C * g.outShape.H * g.outShape.W
+	var wg sync.WaitGroup
+	errs := make([]error, len(g.units))
+	for _, u := range g.units {
+		if u.share == 0 {
+			continue
+		}
+		subIn, err := tensor.NewFrom(
+			tensor.Shape{N: u.share, C: g.inShape.C, H: g.inShape.H, W: g.inShape.W},
+			tensor.NCHW, src.Data[u.offset*chwIn:(u.offset+u.share)*chwIn])
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", u.index, err)
+		}
+		subOut, err := tensor.NewFrom(
+			tensor.Shape{N: u.share, C: g.outShape.C, H: g.outShape.H, W: g.outShape.W},
+			tensor.NCHW, out.Data[u.offset*chwOut:(u.offset+u.share)*chwOut])
+		if err != nil {
+			return fmt.Errorf("replica %d: %w", u.index, err)
+		}
+		wg.Add(1)
+		go func(u *unit) {
+			defer wg.Done()
+			start := time.Now()
+			var err error
+			if u.exec != nil {
+				err = u.exec.RunInto(subIn, subOut)
+			} else {
+				err = u.pipe.RunInto(subIn, subOut)
+			}
+			u.measuredNS.Add(int64(time.Since(start)))
+			u.batches.Add(1)
+			if err != nil {
+				errs[u.index] = fmt.Errorf("replica %d: %w", u.index, err)
+			}
+		}(u)
+	}
+	wg.Wait()
+	g.batches.Add(1)
+	if err := errors.Join(errs...); err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	if out != dst {
+		if err := tensor.ConvertInto(out, dst); err != nil {
+			return fmt.Errorf("replica: delivering output: %w", err)
+		}
+	}
+	return nil
+}
+
+// Run executes one batch, returning a freshly allocated output in the input's
+// layout.
+func (g *Group) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
+	out := tensor.New(g.outShape, in.Layout)
+	if err := g.RunInto(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Close stops the stage goroutines of pipeline-sharded replicas.  It is
+// idempotent; single-executor replicas hold no goroutines.
+func (g *Group) Close() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, u := range g.units {
+		if u.pipe != nil {
+			u.pipe.Close()
+		}
+	}
+}
+
+// Stats reports one replica's share and observed cost.
+type Stats struct {
+	Replica int
+	Devices string
+	Weight  float64
+	Share   int
+	Batches uint64
+	// ScatterUS is the modeled contended input transfer per batch and
+	// ModeledUS the modeled sub-batch total including it; both zero on
+	// unmodeled (CPU) replicas.
+	ScatterUS float64
+	ModeledUS float64
+	// MeasuredUS is the mean measured wall time per sub-batch.
+	MeasuredUS float64
+}
+
+// ReplicaStats snapshots per-replica counters.
+func (g *Group) ReplicaStats() []Stats {
+	out := make([]Stats, len(g.units))
+	for i, u := range g.units {
+		names := make([]string, len(u.devices))
+		for j, d := range u.devices {
+			names[j] = d.Name()
+		}
+		s := Stats{
+			Replica:   i,
+			Devices:   strings.Join(names, "+"),
+			Weight:    g.weights[i],
+			Share:     u.share,
+			Batches:   u.batches.Load(),
+			ScatterUS: g.scatter[i],
+			ModeledUS: u.modeled,
+		}
+		if s.Batches > 0 {
+			s.MeasuredUS = float64(u.measuredNS.Load()) / 1e3 / float64(s.Batches)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Shares apportions a batch across replicas proportionally to their weights
+// (largest-remainder rounding, ties to the lower index, so the split is
+// deterministic).  Weights must be non-negative with a positive sum; a
+// replica weighted 0 is guaranteed an empty share.
+func Shares(batch int, weights []float64) ([]int, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("replica: batch %d must be positive", batch)
+	}
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("replica: no replica weights")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("replica: weight %d is %v", i, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("replica: at least one replica needs a positive weight")
+	}
+	shares := make([]int, len(weights))
+	rem := make([]float64, len(weights))
+	assigned := 0
+	for i, w := range weights {
+		exact := float64(batch) * w / sum
+		shares[i] = int(exact)
+		rem[i] = exact - float64(shares[i])
+		assigned += shares[i]
+	}
+	order := make([]int, 0, len(weights))
+	for i, w := range weights {
+		if w > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rem[order[a]] > rem[order[b]] })
+	for k := 0; assigned < batch; k++ {
+		shares[order[k%len(order)]]++
+		assigned++
+	}
+	return shares, nil
+}
+
+// DeriveWeights estimates each replica's throughput weight from its devices:
+// a simulated device contributes its modeled batches-per-second for the base
+// program (gpusim pricing), a CPU device its measured rate from a short
+// warmup probe (probes timed runs after one warming run; minimum taken).  A
+// replica's weight is the sum over its devices, crediting pipeline-sharded
+// replicas with their extra stage throughput.
+func DeriveWeights(base *runtime.Program, devices [][]runtime.Device, probes int) []float64 {
+	if probes <= 0 {
+		probes = 2
+	}
+	weights := make([]float64, len(devices))
+	for i, devs := range devices {
+		for _, d := range devs {
+			if sd, ok := d.(*runtime.SimDevice); ok {
+				if us := sd.ModelProgramUS(base); us > 0 {
+					weights[i] += 1e6 / us
+				}
+				continue
+			}
+			if sec := probeSeconds(base, d, probes); sec > 0 {
+				weights[i] += 1 / sec
+			}
+		}
+	}
+	return weights
+}
+
+// probeSeconds measures one warmed full-batch run of the base program on the
+// device, returning the minimum of the timed runs in seconds.
+func probeSeconds(base *runtime.Program, d runtime.Device, probes int) float64 {
+	exec := runtime.NewExecutorOn(base, d)
+	in := tensor.New(base.InputShape(), tensor.NCHW)
+	out := tensor.New(base.OutputShape(), tensor.NCHW)
+	if err := exec.RunInto(in, out); err != nil { // warm the arena pool
+		return 0
+	}
+	best := math.Inf(1)
+	for p := 0; p < probes; p++ {
+		start := time.Now()
+		if err := exec.RunInto(in, out); err != nil {
+			return 0
+		}
+		if sec := time.Since(start).Seconds(); sec < best {
+			best = sec
+		}
+	}
+	return best
+}
+
+// ParseDevices builds the device matrix for a replica fleet from a
+// comma-separated hardware list: each entry is "titanblack", "titanx" or
+// "cpu", assigned to replicas in order and cycled when the fleet is larger
+// than the list ("titanblack,titanx" alternates the two models).  Every
+// replica receives `stages` devices of its model, pipeline-sharding the
+// replica when stages > 1.  An empty spec defaults to the paper's Titan
+// Black for every replica.
+func ParseDevices(spec string, replicas, stages int) ([][]runtime.Device, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("replica: replica count %d must be positive", replicas)
+	}
+	if stages <= 0 {
+		stages = 1
+	}
+	models := []string{"titanblack"}
+	if strings.TrimSpace(spec) != "" {
+		models = strings.Split(spec, ",")
+	}
+	hw := map[string]*gpusim.Device{}
+	out := make([][]runtime.Device, replicas)
+	for r := 0; r < replicas; r++ {
+		model := strings.ToLower(strings.TrimSpace(models[r%len(models)]))
+		devs := make([]runtime.Device, stages)
+		for s := 0; s < stages; s++ {
+			label := fmt.Sprintf("r%d.%d", r, s)
+			switch model {
+			case "cpu":
+				devs[s] = runtime.CPUDevice{}
+			case "titanblack":
+				if hw[model] == nil {
+					hw[model] = gpusim.TitanBlack()
+				}
+				devs[s] = runtime.NewSimDevice(label, hw[model])
+			case "titanx":
+				if hw[model] == nil {
+					hw[model] = gpusim.TitanX()
+				}
+				devs[s] = runtime.NewSimDevice(label, hw[model])
+			default:
+				return nil, fmt.Errorf("replica: unknown device model %q (want titanblack, titanx or cpu)", model)
+			}
+		}
+		out[r] = devs
+	}
+	return out, nil
+}

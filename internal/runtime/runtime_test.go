@@ -219,6 +219,17 @@ func goldenCases(t *testing.T) []goldenCase {
 			name: "ZFNet@4", net: zfSmall, planners: opt,
 			opts: runtime.Options{ConvAlgorithms: true},
 		})
+		// Reduced-batch VGG completes the set: the last paper network whose
+		// golden run was gated behind MEMCNN_GOLDEN_FULL.  Batch 1 keeps its
+		// thirteen 224x224 convolution layers affordable under -race.
+		vggSmall, err := workloads.VGGWithBatch(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, goldenCase{
+			name: "VGG@1", net: vggSmall, planners: opt,
+			opts: runtime.Options{ConvAlgorithms: true},
+		})
 	}
 	if os.Getenv("MEMCNN_GOLDEN_FULL") != "" {
 		for _, name := range []string{"Cifar10", "AlexNet", "ZFNet", "VGG"} {
@@ -270,6 +281,77 @@ func TestGoldenEquivalence(t *testing.T) {
 			}
 			requireBitEqual(t, tc.name+"/"+planner.Name()+" rerun", again, want)
 		}
+	}
+}
+
+// TestCompileLike checks that compiling a rebatched network against a base
+// program pins the base's layouts and convolution algorithms instead of
+// re-selecting by the (smaller) sub-batch shape — the property the replica
+// scheduler's bit-equality rests on.
+func TestCompileLike(t *testing.T) {
+	nets, err := workloads.Networks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mustCompileOpts(t, planners()[2], nets["LeNet"],
+		runtime.Options{ConvAlgorithms: true})
+	gemms := 0
+	for _, ch := range base.ConvChoices() {
+		if ch.Alg == kernels.ConvAlgGemm {
+			gemms++
+		}
+	}
+	if gemms == 0 {
+		t.Fatal("LeNet@128 selected no GEMM convolution; the pinning test needs one")
+	}
+
+	small, err := nets["LeNet"].WithBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := runtime.CompileLike(base, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseChoices, gotChoices := base.ConvChoices(), prog.ConvChoices()
+	if len(gotChoices) != len(baseChoices) {
+		t.Fatalf("rebatched program has %d conv choices, base %d", len(gotChoices), len(baseChoices))
+	}
+	for i, ch := range gotChoices {
+		if ch.Layer != baseChoices[i].Layer || ch.Alg != baseChoices[i].Alg {
+			t.Errorf("conv %d: rebatched %s/%v, base %s/%v — selection was not pinned",
+				i, ch.Layer, ch.Alg, baseChoices[i].Layer, baseChoices[i].Alg)
+		}
+	}
+	if got, want := prog.InputShape().N, 1; got != want {
+		t.Errorf("rebatched program batch %d, want %d", got, want)
+	}
+
+	// Layer layouts must match op for op.
+	bi := 0
+	baseLayouts := make([]tensor.Layout, 0, len(base.Ops))
+	for _, op := range base.Ops {
+		if op.Kind == runtime.OpLayer {
+			baseLayouts = append(baseLayouts, base.Buffers[op.In].Layout)
+		}
+	}
+	for _, op := range prog.Ops {
+		if op.Kind != runtime.OpLayer {
+			continue
+		}
+		if lay := prog.Buffers[op.In].Layout; lay != baseLayouts[bi] {
+			t.Errorf("layer op %d runs in %v, base in %v", bi, lay, baseLayouts[bi])
+		}
+		bi++
+	}
+
+	// A mismatched layer stack must be rejected.
+	tiny, err := workloads.TinyNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runtime.CompileLike(base, tiny); err == nil {
+		t.Error("CompileLike accepted a network with a different layer stack")
 	}
 }
 

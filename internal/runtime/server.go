@@ -28,6 +28,10 @@ type ServerConfig struct {
 	Workers int
 	// QueueDepth is the request queue capacity.  Default 2·MaxBatch·Workers.
 	QueueDepth int
+	// CacheEntries bounds the serving-side result cache: per-image outputs
+	// memoised by input checksum (LRU, single-flight), so repeated inputs
+	// skip execution entirely.  0 (the default) disables the cache.
+	CacheEntries int
 }
 
 // withDefaults replaces unset (or non-positive) fields with their defaults.
@@ -54,6 +58,11 @@ type ServerStats struct {
 	Errors       uint64  // requests that failed
 	LargestBatch uint64  // largest coalesced batch observed
 	AvgBatch     float64 // mean requests per execution
+	// Cache holds the result-cache counters when CacheEntries > 0; requests
+	// served from the cache (or by joining an in-flight identical request)
+	// never reach the batching queue, so they appear here and not in
+	// Requests.
+	Cache *CacheStats `json:",omitempty"`
 }
 
 type response struct {
@@ -96,6 +105,13 @@ func NewServerWith(prog *Program, run Runner, cfg ServerConfig) (*BatchServer, e
 		reqs: make(chan *request, cfg.QueueDepth),
 		stop: make(chan struct{}),
 	}
+	if cfg.CacheEntries > 0 {
+		cache, err := NewResultCache(cfg.CacheEntries)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
@@ -107,11 +123,14 @@ func NewServerWith(prog *Program, run Runner, cfg ServerConfig) (*BatchServer, e
 // program: single-image requests are queued, coalesced into batches of up to
 // MaxBatch images (waiting at most MaxDelay), padded to the network's batch
 // size and run through the planned executor.  Every layer processes images
-// independently, so padded slots cannot perturb real results.
+// independently, so padded slots cannot perturb real results.  An optional
+// checksum-keyed result cache sits in front of the queue (ServerConfig.
+// CacheEntries), short-circuiting repeated and concurrent-identical inputs.
 type BatchServer struct {
-	prog *Program
-	exec Runner
-	cfg  ServerConfig
+	prog  *Program
+	exec  Runner
+	cfg   ServerConfig
+	cache *ResultCache // nil unless CacheEntries > 0
 
 	reqs chan *request
 	stop chan struct{}
@@ -131,13 +150,26 @@ func (s *BatchServer) Config() ServerConfig { return s.cfg }
 
 // Infer submits one image — shape {1,C,H,W} for a network consuming
 // {B,C,H,W} — and blocks until its result, a {1,classes…} tensor in NCHW
-// layout, is ready or the context is cancelled.
+// layout, is ready or the context is cancelled.  With CacheEntries > 0 the
+// result cache is consulted first: a repeated input returns its memoised
+// output without execution, and concurrent identical inputs share one
+// execution (single-flight).
 func (s *BatchServer) Infer(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, error) {
 	in := s.prog.InputShape()
 	want := tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}
 	if img.Shape != want {
 		return nil, fmt.Errorf("runtime: request shape %v, want %v", img.Shape, want)
 	}
+	if s.cache == nil {
+		return s.submit(ctx, img)
+	}
+	return s.cache.Do(ctx, ImageChecksum(img), func() (*tensor.Tensor, error) {
+		return s.submit(ctx, img)
+	})
+}
+
+// submit queues one validated image for batching and waits for its result.
+func (s *BatchServer) submit(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, error) {
 	r := &request{img: img, resp: make(chan response, 1)}
 	s.mu.RLock()
 	if s.closed {
@@ -170,8 +202,15 @@ func (s *BatchServer) Stats() ServerStats {
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.Requests) / float64(st.Batches)
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
 	return st
 }
+
+// Cache returns the serving-side result cache, nil when disabled.
+func (s *BatchServer) Cache() *ResultCache { return s.cache }
 
 // Close stops the workers and fails any queued requests with
 // ErrServerClosed.  It is idempotent.

@@ -10,6 +10,7 @@ import (
 	"memcnn/internal/gpusim"
 	"memcnn/internal/network"
 	"memcnn/internal/runtime"
+	"memcnn/internal/runtime/replica"
 	"memcnn/internal/tensor"
 	"memcnn/internal/workloads"
 )
@@ -187,6 +188,90 @@ func TestServerPipelinedConcurrentRequests(t *testing.T) {
 	}
 	t.Logf("pipelined: %d requests in %d batches across %d stages",
 		st.Requests, st.Batches, len(pipe.StageStats()))
+}
+
+// TestServerReplicatedCachedConcurrentRequests is the data-parallel twin of
+// the concurrent-server tests: 96 concurrent single-image requests served
+// through a heterogeneous replica group (a lone TitanBlack replica plus a
+// TitanX replica that is itself pipeline-sharded across two devices) with the
+// result cache enabled (run under -race by CI).  Every response must
+// bit-equal the naive per-image golden output, and with 4 distinct request
+// images the single-flight cache must execute each image exactly once — 4
+// misses, 92 hits — so only the misses ever reach the batching queue.
+func TestServerReplicatedCachedConcurrentRequests(t *testing.T) {
+	prog, images, golden := serverFixture(t)
+	group, err := replica.NewGroup(prog, 2, replica.Config{
+		Devices: [][]runtime.Device{
+			{runtime.NewSimDevice("r0", gpusim.TitanBlack())},
+			{runtime.NewSimDevice("r1.0", gpusim.TitanX()), runtime.NewSimDevice("r1.1", gpusim.TitanX())},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer group.Close()
+	srv, err := runtime.NewServerWith(prog, group, runtime.ServerConfig{
+		MaxDelay:     5 * time.Millisecond,
+		Workers:      4,
+		CacheEntries: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const concurrent = 96
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, concurrent)
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			img := images[i%len(images)]
+			out, err := srv.Infer(ctx, img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := golden[i%len(golden)]
+			for j := range want.Data {
+				if out.Data[j] != want.Data[j] {
+					errs <- errMismatch(i, j)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.Cache == nil {
+		t.Fatal("cache enabled but no cache stats reported")
+	}
+	if st.Cache.Misses != uint64(len(images)) {
+		t.Errorf("cache misses = %d, want one per distinct image (%d)", st.Cache.Misses, len(images))
+	}
+	if st.Cache.Hits+st.Cache.Misses != concurrent {
+		t.Errorf("cache saw %d requests (%d hits + %d misses), want %d",
+			st.Cache.Hits+st.Cache.Misses, st.Cache.Hits, st.Cache.Misses, concurrent)
+	}
+	if st.Requests != st.Cache.Misses {
+		t.Errorf("%d requests reached the batching queue, want only the %d cache misses",
+			st.Requests, st.Cache.Misses)
+	}
+	for _, rs := range group.ReplicaStats() {
+		if rs.Share > 0 && rs.Batches != st.Batches {
+			t.Errorf("replica %d served %d batches, server ran %d", rs.Replica, rs.Batches, st.Batches)
+		}
+	}
+	t.Logf("replicated+cached: %d requests, %d hits, %d misses, %d batches across %d replicas",
+		concurrent, st.Cache.Hits, st.Cache.Misses, st.Batches, group.Replicas())
 }
 
 type errMismatchErr struct{ req, elem int }

@@ -260,6 +260,7 @@ func subProgram(base *Program, index, first, last int) (*Program, error) {
 	sp := &Program{
 		Net:         base.Net,
 		PlannerName: fmt.Sprintf("%s/stage%d", base.PlannerName, index),
+		Opts:        base.Opts,
 	}
 	idmap := make(map[BufferID]BufferID)
 	addRoot := func(old BufferID) BufferID {

@@ -248,7 +248,14 @@ func ZFNetWithBatch(batch int) (*network.Network, error) {
 // VGG returns the VGG-16 model (batch 32): thirteen 3×3 convolutions in five
 // blocks separated by 2×2 pooling, then the three fully-connected layers.
 func VGG() (*network.Network, error) {
-	b := newNetBuilder("VGG", 32, tensor.Shape{N: 32, C: 3, H: 224, W: 224})
+	return VGGWithBatch(32)
+}
+
+// VGGWithBatch returns the VGG-16 model at an arbitrary batch size, layer
+// shapes unchanged; like AlexNetWithBatch it is the affordable
+// ImageNet-scale configuration for functional CI runs.
+func VGGWithBatch(batch int) (*network.Network, error) {
+	b := newNetBuilder("VGG", batch, tensor.Shape{N: batch, C: 3, H: 224, W: 224})
 	b.convRelu("conv1_1", 64, 3, 1, 1).
 		convRelu("conv1_2", 64, 3, 1, 1).
 		pool("pool1", 2, 2).
