@@ -28,12 +28,15 @@ import (
 
 // record is the slice of a netbench netReport the trend check consumes.
 type record struct {
-	Network      string  `json:"network"`
-	NaiveUS      float64 `json:"naive_us"`
-	SelectedUS   float64 `json:"selected_us"`
-	PipelinedUS  float64 `json:"pipelined_us"`
-	ReplicatedUS float64 `json:"replicated_us"`
-	PeakBytes    int64   `json:"peak_bytes"`
+	Network        string  `json:"network"`
+	NaiveUS        float64 `json:"naive_us"`
+	SelectedUS     float64 `json:"selected_us"`
+	PipelinedUS    float64 `json:"pipelined_us"`
+	ReplicatedUS   float64 `json:"replicated_us"`
+	PeakBytes      int64   `json:"peak_bytes"`
+	TrainUS        float64 `json:"train_us"`
+	TrainNaiveUS   float64 `json:"train_naive_us"`
+	TrainPeakBytes int64   `json:"train_peak_bytes"`
 }
 
 func main() {
@@ -76,6 +79,7 @@ func main() {
 			{"selected_us", base.SelectedUS, cur.SelectedUS, base.NaiveUS, cur.NaiveUS},
 			{"pipelined_us", base.PipelinedUS, cur.PipelinedUS, base.NaiveUS, cur.NaiveUS},
 			{"replicated_us", base.ReplicatedUS, cur.ReplicatedUS, base.NaiveUS, cur.NaiveUS},
+			{"train_us", base.TrainUS, cur.TrainUS, base.TrainNaiveUS, cur.TrainNaiveUS},
 		} {
 			if m.baseV <= 0 || m.baseNorm <= 0 {
 				continue // metric not in the baseline: nothing to guard
@@ -100,6 +104,24 @@ func main() {
 		if base.PeakBytes > 0 && cur.PeakBytes > base.PeakBytes {
 			fmt.Printf("%-10s %-13s %10d -> %10d B  note: memory plan grew\n",
 				name, "peak_bytes", base.PeakBytes, cur.PeakBytes)
+		}
+		// The planned training footprint is deterministic planner output —
+		// machine-independent — so it is a hard gate, not a note: growth means
+		// the joint-graph planner or the checkpointing policy regressed.
+		if base.TrainPeakBytes > 0 {
+			checked++
+			switch {
+			case cur.TrainPeakBytes == 0:
+				fmt.Printf("%-10s %-13s MISSING from current run\n", name, "train_peak_bytes")
+				regressions++
+			case cur.TrainPeakBytes > base.TrainPeakBytes:
+				fmt.Printf("%-10s %-13s %10d -> %10d B  REGRESSION: planned training footprint grew\n",
+					name, "train_peak_bytes", base.TrainPeakBytes, cur.TrainPeakBytes)
+				regressions++
+			default:
+				fmt.Printf("%-10s %-13s %10d -> %10d B  ok\n",
+					name, "train_peak_bytes", base.TrainPeakBytes, cur.TrainPeakBytes)
+			}
 		}
 	}
 	for name := range current {

@@ -47,13 +47,17 @@ import (
 	"sync"
 	"time"
 
+	"math"
+
 	"memcnn/internal/bench"
 	"memcnn/internal/frameworks"
 	"memcnn/internal/gpusim"
+	"memcnn/internal/layers"
 	"memcnn/internal/layout"
 	"memcnn/internal/network"
 	memruntime "memcnn/internal/runtime"
 	"memcnn/internal/runtime/replica"
+	"memcnn/internal/runtime/train"
 	"memcnn/internal/tensor"
 	"memcnn/internal/workloads"
 )
@@ -71,9 +75,13 @@ func main() {
 		devices     = flag.Int("devices", 1, "with -runtime: shard each program across N simulated devices and report the per-stage breakdown")
 		replicas    = flag.Int("replicas", 1, "with -runtime: replicate each program across N devices and report the throughput-weighted batch split")
 		replicaDevs = flag.String("replica-devices", "", "with -replicas: comma-separated replica hardware (titanblack, titanx or cpu), cycled; default titanblack")
+		trainMode   = flag.Bool("train", false, "compile each network for training (forward+loss+backward+SGD) and report the planned footprint with and without recompute checkpointing; with -exec also run sanity training steps on the cheap networks (implies -runtime)")
 		jsonPath    = flag.String("json", "", "with -runtime: write per-network latency/alloc stats to this file as JSON")
 	)
 	flag.Parse()
+	if *trainMode {
+		*runtimeView = true
+	}
 
 	dev := gpusim.TitanBlack()
 	if strings.EqualFold(*deviceName, "titanx") {
@@ -91,7 +99,7 @@ func main() {
 	if *runtimeView {
 		opts := memruntime.Options{ConvAlgorithms: *selectAlgs, Probe: *probe}
 		rc := replicaConfig{count: *replicas, spec: *replicaDevs}
-		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, rc, *jsonPath); err != nil {
+		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, rc, *trainMode, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -224,6 +232,23 @@ type netReport struct {
 	CacheMisses            uint64        `json:"cache_misses,omitempty"`
 	CacheEvictions         uint64        `json:"cache_evictions,omitempty"`
 
+	// Training stats, present with -train: the op count, planned arena peak
+	// (under the auto recompute-vs-store policy — the footprint the trend gate
+	// guards), the store-all planned peak, the keep-everything naive bytes,
+	// the recompute op count the checkpointer traded in, the modeled step
+	// latency on the selected hardware, and — with -exec — the measured
+	// planned and naive step latencies plus the last loss of the sanity curve.
+	TrainOps            int     `json:"train_ops,omitempty"`
+	TrainPeakBytes      int64   `json:"train_peak_bytes,omitempty"`
+	TrainStorePeakBytes int64   `json:"train_store_peak_bytes,omitempty"`
+	TrainCkptPeakBytes  int64   `json:"train_ckpt_peak_bytes,omitempty"`
+	TrainNaiveBytes     int64   `json:"train_naive_bytes,omitempty"`
+	TrainRecomputeOps   int     `json:"train_recompute_ops,omitempty"`
+	TrainModeledUS      float64 `json:"train_modeled_us,omitempty"`
+	TrainUS             float64 `json:"train_us,omitempty"`
+	TrainNaiveUS        float64 `json:"train_naive_us,omitempty"`
+	TrainLoss           float64 `json:"train_loss,omitempty"`
+
 	// Execution stats, present with -exec.
 	NaiveUS            float64 `json:"naive_us,omitempty"`
 	DirectUS           float64 `json:"direct_us,omitempty"`
@@ -246,7 +271,7 @@ type replicaConfig struct {
 	spec  string
 }
 
-func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, rc replicaConfig, jsonPath string) error {
+func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, rc replicaConfig, trainMode bool, jsonPath string) error {
 	nets, err := workloads.Networks()
 	if err != nil {
 		return err
@@ -318,7 +343,21 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 				return fmt.Errorf("netbench: replicating %s: %w", name, err)
 			}
 		}
+		if trainMode {
+			// Training steps run the direct backward kernels on the CPU, so
+			// measured execution defaults to LeNet only; selecting a single
+			// network opts in explicitly.
+			execTrain := exec && (name == "LeNet" || len(targets) == 1)
+			if err := trainNetReport(dev, nets[name], execTrain, &rep); err != nil {
+				return fmt.Errorf("netbench: training %s: %w", name, err)
+			}
+		}
 		reports = append(reports, rep)
+	}
+	if trainMode {
+		printTrainTable(reports)
+		_, table := bench.TrainingStep(dev)
+		fmt.Println(table)
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(reports, "", "  ")
@@ -520,6 +559,131 @@ func replicaCacheBurst(prog *memruntime.Program, g *replica.Group, rep *netRepor
 			requests, cs.Hits, cs.Misses, cs.Evictions)
 	}
 	return nil
+}
+
+// trainNetReport compiles the network's full training step (forward + loss +
+// backward + SGD) with and without recompute checkpointing, records the
+// planned footprints and the modeled step latency, and — when exec is set —
+// measures planned and naive training steps while printing the loss curve.
+func trainNetReport(hw *gpusim.Device, net *network.Network, exec bool, rep *netReport) error {
+	store, err := train.CompileTraining(net, train.Options{Checkpoint: train.CheckpointOff})
+	if err != nil {
+		return err
+	}
+	ckpt, err := train.CompileTraining(net, train.Options{Checkpoint: train.CheckpointOn})
+	if err != nil {
+		return err
+	}
+	// The library's synthetic [-1,1) weights saturate the softmax into exact
+	// one-hot rows, freezing the loss; rescaling the FC weights by
+	// 1/sqrt(fan-in) (safe in place: unlike conv filters they have no packed
+	// copy) and training gently keeps the sanity curve moving.  The learning
+	// rate does not affect the memory plan.
+	auto, err := train.CompileTraining(net, train.Options{SGD: train.SGD{LR: 1e-4}})
+	if err != nil {
+		return err
+	}
+	rep.TrainOps = len(auto.Ops)
+	rep.TrainPeakBytes = auto.Mem.PeakBytes()
+	rep.TrainStorePeakBytes = store.Mem.PeakBytes()
+	rep.TrainCkptPeakBytes = ckpt.Mem.PeakBytes()
+	rep.TrainNaiveBytes = store.NaiveBytes()
+	rep.TrainRecomputeOps = ckpt.RecomputeOps
+	rep.TrainModeledUS = memruntime.NewSimDevice("train", hw).ModelProgramUS(auto.Program)
+
+	if !exec {
+		return nil
+	}
+	for _, l := range net.Layers {
+		if fc, ok := l.(*layers.FullyConnected); ok {
+			w := fc.Weights()
+			s := float32(1 / math.Sqrt(float64(fc.InDim)))
+			for i := range w {
+				w[i] *= s
+			}
+		}
+	}
+	planned, err := train.NewExecutor(auto)
+	if err != nil {
+		return err
+	}
+	naive, err := train.NewNaiveExecutor(store, memruntime.CPUDevice{})
+	if err != nil {
+		return err
+	}
+	images := tensor.Random(auto.InputShape(), tensor.NCHW, 1)
+	labels := make([]int, auto.Batch)
+	for i := range labels {
+		labels[i] = i % auto.Classes
+	}
+
+	// One warm step pays the lazy filter generation, then a short loss curve
+	// whose fastest step is the trend-gated latency.
+	if _, err := planned.Step(images, labels); err != nil {
+		return err
+	}
+	var losses []float64
+	var best time.Duration
+	for s := 0; s < latencySamples; s++ {
+		start := time.Now()
+		stats, err := planned.Step(images, labels)
+		elapsed := time.Since(start)
+		if err != nil {
+			return err
+		}
+		losses = append(losses, stats.Loss)
+		if s == 0 || elapsed < best {
+			best = elapsed
+		}
+	}
+	rep.TrainUS = float64(best.Microseconds())
+	rep.TrainLoss = losses[len(losses)-1]
+
+	if _, err := naive.Step(images, labels); err != nil {
+		return err
+	}
+	naiveTime, _, err := minOverSamples(func() (time.Duration, uint64, error) {
+		start := time.Now()
+		_, err := naive.Step(images, labels)
+		return time.Since(start), 0, err
+	})
+	if err != nil {
+		return err
+	}
+	rep.TrainNaiveUS = float64(naiveTime.Microseconds())
+
+	curve := ""
+	for i, l := range losses {
+		if i > 0 {
+			curve += " -> "
+		}
+		curve += fmt.Sprintf("%.4f", l)
+	}
+	fmt.Printf("         training step: planned %.0f us vs naive %.0f us measured, modeled %.0f us; loss %s\n",
+		rep.TrainUS, rep.TrainNaiveUS, rep.TrainModeledUS, curve)
+	return nil
+}
+
+// printTrainTable prints the planned-vs-naive training footprint per network,
+// with and without recompute checkpointing — the training counterpart of the
+// inference savings table.
+func printTrainTable(reports []netReport) {
+	fmt.Printf("\ntraining memory (forward + loss + backward + SGD):\n")
+	fmt.Printf("%-8s %6s %11s %11s %11s %10s %12s %11s\n",
+		"network", "ops", "naive", "store", "ckpt", "recompute", "saved(store)", "saved(ckpt)")
+	for _, r := range reports {
+		if r.TrainOps == 0 {
+			continue
+		}
+		naive := float64(r.TrainNaiveBytes)
+		fmt.Printf("%-8s %6d %7.2f MiB %7.2f MiB %7.2f MiB %10d %11.0f%% %10.0f%%\n",
+			r.Network, r.TrainOps,
+			naive/(1<<20), float64(r.TrainStorePeakBytes)/(1<<20), float64(r.TrainCkptPeakBytes)/(1<<20),
+			r.TrainRecomputeOps,
+			100*(1-float64(r.TrainStorePeakBytes)/naive),
+			100*(1-float64(r.TrainCkptPeakBytes)/naive))
+	}
+	fmt.Println()
 }
 
 // timedRun executes one warmed planned program and returns the elapsed time

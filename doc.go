@@ -49,6 +49,22 @@
 // per-replica batch shares with modeled and measured speedup (-replicas) and
 // (with -exec/-json) measured throughput plus cache hit/miss counters.
 //
+// Training runs under the same memory discipline (runtime/train): the
+// compiler lowers a softmax-terminated network into one op list covering the
+// forward pass, softmax cross-entropy loss, backward data/filter passes and
+// the SGD update, and the static memory plan spans that joint graph —
+// forward activations stay live only until their last backward consumer, and
+// recompute-vs-store checkpointing is a planner decision (cheap activations
+// are dropped at the forward peak and recomputed just in time during the
+// backward pass, priced on the gpusim model, and kept only when the plan's
+// peak actually shrinks).  Backward kernels are allocation-free *Into
+// variants with fixed accumulation order, so a planned training step is
+// bit-identical to the naive per-buffer executor across worker counts;
+// `netbench -train` reports planned-vs-naive training footprints with and
+// without checkpointing plus measured and modeled step latency, and
+// cmd/benchtrend gates the normalised step latency and the (deterministic)
+// planned training footprint in CI.
+//
 // The public entry points live under internal/ because the module is a
 // self-contained reproduction rather than an importable SDK; the cmd/ tools
 // and examples/ programs show every supported workflow, and bench_test.go

@@ -9,6 +9,11 @@
 // The optimiser is a network.Planner, so it is compared head to head with the
 // library emulations of internal/frameworks in the whole-network benchmarks
 // (Figs. 14 and 15).
+//
+// Naming note: core.Optimizer optimises memory layout and kernel choice — it
+// is the paper's planner, not a training optimiser.  Gradient-descent
+// training (the SGD update rule and its step loop) lives in
+// internal/runtime/train.
 package core
 
 import (
@@ -48,7 +53,8 @@ type Options struct {
 	SkipTransformCheck bool
 }
 
-// Optimizer is the paper's automatic data-layout and memory-access optimiser.
+// Optimizer is the paper's automatic data-layout and memory-access optimiser
+// (not a gradient-descent optimiser — see the package naming note).
 type Optimizer struct {
 	Opts Options
 

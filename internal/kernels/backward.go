@@ -2,8 +2,10 @@ package kernels
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"memcnn/internal/gpusim"
 	"memcnn/internal/tensor"
@@ -17,6 +19,45 @@ import (
 // training step: convolution gradients with respect to the input and to the
 // filters, pooling backward, ReLU backward and the fused softmax +
 // cross-entropy gradient.
+//
+// Every kernel has an allocation-free *Into variant writing into a
+// caller-provided gradient tensor; the planned training executor
+// (internal/runtime/train) runs those over arena-planned buffers, so a
+// steady-state training step allocates no tensors.  The allocating functions
+// are thin wrappers over the *Into variants, which keeps the two paths
+// bit-identical.  Work is distributed by atomic plane counters with a fixed
+// per-element accumulation order, so results do not depend on the worker
+// count.
+
+// parallelPlanes runs work(p) for p in [0, planes) across GOMAXPROCS workers.
+// Each plane is processed by exactly one worker, so kernels that assign each
+// output element to one plane stay bit-deterministic for any worker count.
+func parallelPlanes(planes int, work func(p int)) {
+	var next atomic.Int64
+	drain := func() {
+		for {
+			p := next.Add(1) - 1
+			if p >= int64(planes) {
+				return
+			}
+			work(int(p))
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || planes <= 1 {
+		drain()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drain()
+		}()
+	}
+	wg.Wait()
+}
 
 // ConvBackwardData computes the gradient of the convolution with respect to
 // its input: dIn[n][c][ih][iw] = sum over (k, fh, fw) hitting (ih, iw) of
@@ -27,62 +68,67 @@ func ConvBackwardData(dOut, filters *tensor.Tensor, cfg ConvConfig, outLayout te
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	dIn := tensor.New(cfg.InputShape(), outLayout)
+	if err := ConvBackwardDataInto(dOut, filters, dIn, cfg); err != nil {
+		return nil, err
+	}
+	return dIn, nil
+}
+
+// ConvBackwardDataInto is the allocation-free variant of ConvBackwardData: it
+// writes into a caller-provided input-gradient tensor of the config's input
+// shape (any layout).  Every element is overwritten, so the destination's
+// prior contents do not matter.  Each (n, c) plane is computed by exactly one
+// worker with a fixed accumulation order, so the result is bit-deterministic
+// for any worker count.
+func ConvBackwardDataInto(dOut, filters, dIn *tensor.Tensor, cfg ConvConfig) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if dOut.Shape != cfg.OutputShape() {
-		return nil, fmt.Errorf("kernels: backward-data dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
+		return fmt.Errorf("kernels: backward-data dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
 	}
 	if filters.Shape != cfg.FilterShape() {
-		return nil, fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
+		return fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
 	}
-	dIn := tensor.New(cfg.InputShape(), outLayout)
+	if dIn.Shape != cfg.InputShape() {
+		return fmt.Errorf("kernels: backward-data dIn shape %v does not match config %v", dIn.Shape, cfg.InputShape())
+	}
 	outH, outW := cfg.OutH(), cfg.OutW()
-
-	jobs := make(chan int, cfg.N)
-	for n := 0; n < cfg.N; n++ {
-		jobs <- n
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for n := range jobs {
-				for c := 0; c < cfg.C; c++ {
-					for ih := 0; ih < cfg.H; ih++ {
-						for iw := 0; iw < cfg.W; iw++ {
-							var acc float64
-							for k := 0; k < cfg.K; k++ {
-								for fh := 0; fh < cfg.FH; fh++ {
-									ohNum := ih + cfg.PadH - fh
-									if ohNum < 0 || ohNum%cfg.StrideH != 0 {
-										continue
-									}
-									oh := ohNum / cfg.StrideH
-									if oh >= outH {
-										continue
-									}
-									for fw := 0; fw < cfg.FW; fw++ {
-										owNum := iw + cfg.PadW - fw
-										if owNum < 0 || owNum%cfg.StrideW != 0 {
-											continue
-										}
-										ow := owNum / cfg.StrideW
-										if ow >= outW {
-											continue
-										}
-										acc += float64(dOut.At(n, k, oh, ow)) * float64(filters.At(k, c, fh, fw))
-									}
-								}
+	parallelPlanes(cfg.N*cfg.C, func(p int) {
+		n, c := p/cfg.C, p%cfg.C
+		for ih := 0; ih < cfg.H; ih++ {
+			for iw := 0; iw < cfg.W; iw++ {
+				var acc float64
+				for k := 0; k < cfg.K; k++ {
+					for fh := 0; fh < cfg.FH; fh++ {
+						ohNum := ih + cfg.PadH - fh
+						if ohNum < 0 || ohNum%cfg.StrideH != 0 {
+							continue
+						}
+						oh := ohNum / cfg.StrideH
+						if oh >= outH {
+							continue
+						}
+						for fw := 0; fw < cfg.FW; fw++ {
+							owNum := iw + cfg.PadW - fw
+							if owNum < 0 || owNum%cfg.StrideW != 0 {
+								continue
 							}
-							dIn.Set(n, c, ih, iw, float32(acc))
+							ow := owNum / cfg.StrideW
+							if ow >= outW {
+								continue
+							}
+							acc += float64(dOut.At(n, k, oh, ow)) * float64(filters.At(k, c, fh, fw))
 						}
 					}
 				}
+				dIn.Set(n, c, ih, iw, float32(acc))
 			}
-		}()
-	}
-	wg.Wait()
-	return dIn, nil
+		}
+	})
+	return nil
 }
 
 // ConvBackwardFilter computes the gradient of the convolution with respect to
@@ -93,55 +139,58 @@ func ConvBackwardFilter(in, dOut *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	dW := tensor.New(cfg.FilterShape(), tensor.NCHW)
+	if err := ConvBackwardFilterInto(in, dOut, dW, cfg); err != nil {
+		return nil, err
+	}
+	return dW, nil
+}
+
+// ConvBackwardFilterInto is the allocation-free variant of ConvBackwardFilter:
+// it writes into a caller-provided filter-gradient tensor of the config's
+// filter shape.  Each (k, c) filter plane is accumulated by exactly one worker
+// in a fixed (n, oh, ow) order, so the result is bit-deterministic for any
+// worker count.
+func ConvBackwardFilterInto(in, dOut, dW *tensor.Tensor, cfg ConvConfig) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if in.Shape != cfg.InputShape() {
-		return nil, fmt.Errorf("kernels: backward-filter input shape %v does not match config %v", in.Shape, cfg.InputShape())
+		return fmt.Errorf("kernels: backward-filter input shape %v does not match config %v", in.Shape, cfg.InputShape())
 	}
 	if dOut.Shape != cfg.OutputShape() {
-		return nil, fmt.Errorf("kernels: backward-filter dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
+		return fmt.Errorf("kernels: backward-filter dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
 	}
-	dW := tensor.New(cfg.FilterShape(), tensor.NCHW)
+	if dW.Shape != cfg.FilterShape() {
+		return fmt.Errorf("kernels: backward-filter dW shape %v does not match config %v", dW.Shape, cfg.FilterShape())
+	}
 	outH, outW := cfg.OutH(), cfg.OutW()
-
-	type job struct{ k, c int }
-	jobs := make(chan job, cfg.K*cfg.C)
-	for k := 0; k < cfg.K; k++ {
-		for c := 0; c < cfg.C; c++ {
-			jobs <- job{k, c}
-		}
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				for fh := 0; fh < cfg.FH; fh++ {
-					for fw := 0; fw < cfg.FW; fw++ {
-						var acc float64
-						for n := 0; n < cfg.N; n++ {
-							for oh := 0; oh < outH; oh++ {
-								ih := oh*cfg.StrideH - cfg.PadH + fh
-								if ih < 0 || ih >= cfg.H {
-									continue
-								}
-								for ow := 0; ow < outW; ow++ {
-									iw := ow*cfg.StrideW - cfg.PadW + fw
-									if iw < 0 || iw >= cfg.W {
-										continue
-									}
-									acc += float64(dOut.At(n, j.k, oh, ow)) * float64(in.At(n, j.c, ih, iw))
-								}
-							}
+	parallelPlanes(cfg.K*cfg.C, func(p int) {
+		k, c := p/cfg.C, p%cfg.C
+		for fh := 0; fh < cfg.FH; fh++ {
+			for fw := 0; fw < cfg.FW; fw++ {
+				var acc float64
+				for n := 0; n < cfg.N; n++ {
+					for oh := 0; oh < outH; oh++ {
+						ih := oh*cfg.StrideH - cfg.PadH + fh
+						if ih < 0 || ih >= cfg.H {
+							continue
 						}
-						dW.Set(j.k, j.c, fh, fw, float32(acc))
+						for ow := 0; ow < outW; ow++ {
+							iw := ow*cfg.StrideW - cfg.PadW + fw
+							if iw < 0 || iw >= cfg.W {
+								continue
+							}
+							acc += float64(dOut.At(n, k, oh, ow)) * float64(in.At(n, c, ih, iw))
+						}
 					}
 				}
+				dW.Set(k, c, fh, fw, float32(acc))
 			}
-		}()
-	}
-	wg.Wait()
-	return dW, nil
+		}
+	})
+	return nil
 }
 
 // ConvBackwardDataCHWNCost models the backward-data pass of the direct
@@ -219,59 +268,66 @@ func PoolBackward(in, dOut *tensor.Tensor, cfg PoolConfig) (*tensor.Tensor, erro
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	dIn := tensor.New(cfg.InputShape(), in.Layout)
+	if err := PoolBackwardInto(in, dOut, dIn, cfg); err != nil {
+		return nil, err
+	}
+	return dIn, nil
+}
+
+// PoolBackwardInto is the allocation-free variant of PoolBackward.  The
+// destination is fully overwritten (the scatter zeroes each (n, c) plane
+// before accumulating into it), so arena-recycled storage needs no clearing.
+// Each plane is owned by exactly one worker with a fixed window order, so the
+// result is bit-deterministic for any worker count.
+func PoolBackwardInto(in, dOut, dIn *tensor.Tensor, cfg PoolConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if in.Shape != cfg.InputShape() {
-		return nil, fmt.Errorf("kernels: pool backward input shape %v does not match config %v", in.Shape, cfg.InputShape())
+		return fmt.Errorf("kernels: pool backward input shape %v does not match config %v", in.Shape, cfg.InputShape())
 	}
 	if dOut.Shape != cfg.OutputShape() {
-		return nil, fmt.Errorf("kernels: pool backward dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
+		return fmt.Errorf("kernels: pool backward dOut shape %v does not match config %v", dOut.Shape, cfg.OutputShape())
 	}
-	dIn := tensor.New(cfg.InputShape(), in.Layout)
+	if dIn.Shape != cfg.InputShape() {
+		return fmt.Errorf("kernels: pool backward dIn shape %v does not match config %v", dIn.Shape, cfg.InputShape())
+	}
 	outH, outW := cfg.OutH(), cfg.OutW()
-
-	type job struct{ n, c int }
-	jobs := make(chan job, cfg.N*cfg.C)
-	for n := 0; n < cfg.N; n++ {
-		for c := 0; c < cfg.C; c++ {
-			jobs <- job{n, c}
+	parallelPlanes(cfg.N*cfg.C, func(p int) {
+		n, c := p/cfg.C, p%cfg.C
+		for h := 0; h < cfg.H; h++ {
+			for w := 0; w < cfg.W; w++ {
+				dIn.Set(n, c, h, w, 0)
+			}
 		}
-	}
-	close(jobs)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				for oh := 0; oh < outH; oh++ {
-					for ow := 0; ow < outW; ow++ {
-						g := dOut.At(j.n, j.c, oh, ow)
-						h0, w0 := oh*cfg.Stride, ow*cfg.Stride
-						if cfg.Op == AvgPool {
-							share := g / float32(cfg.Window*cfg.Window)
-							for y := 0; y < cfg.Window; y++ {
-								for x := 0; x < cfg.Window; x++ {
-									dIn.Set(j.n, j.c, h0+y, w0+x, dIn.At(j.n, j.c, h0+y, w0+x)+share)
-								}
-							}
-							continue
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				g := dOut.At(n, c, oh, ow)
+				h0, w0 := oh*cfg.Stride, ow*cfg.Stride
+				if cfg.Op == AvgPool {
+					share := g / float32(cfg.Window*cfg.Window)
+					for y := 0; y < cfg.Window; y++ {
+						for x := 0; x < cfg.Window; x++ {
+							dIn.Set(n, c, h0+y, w0+x, dIn.At(n, c, h0+y, w0+x)+share)
 						}
-						bestY, bestX := 0, 0
-						best := in.At(j.n, j.c, h0, w0)
-						for y := 0; y < cfg.Window; y++ {
-							for x := 0; x < cfg.Window; x++ {
-								if v := in.At(j.n, j.c, h0+y, w0+x); v > best {
-									best, bestY, bestX = v, y, x
-								}
-							}
+					}
+					continue
+				}
+				bestY, bestX := 0, 0
+				best := in.At(n, c, h0, w0)
+				for y := 0; y < cfg.Window; y++ {
+					for x := 0; x < cfg.Window; x++ {
+						if v := in.At(n, c, h0+y, w0+x); v > best {
+							best, bestY, bestX = v, y, x
 						}
-						dIn.Set(j.n, j.c, h0+bestY, w0+bestX, dIn.At(j.n, j.c, h0+bestY, w0+bestX)+g)
 					}
 				}
+				dIn.Set(n, c, h0+bestY, w0+bestX, dIn.At(n, c, h0+bestY, w0+bestX)+g)
 			}
-		}()
-	}
-	wg.Wait()
-	return dIn, nil
+		}
+	})
+	return nil
 }
 
 // PoolBackwardCost models the pooling backward kernel: it reads the incoming
@@ -317,18 +373,34 @@ func SoftmaxCrossEntropyBackward(probs []float32, labels []int, cfg SoftmaxConfi
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(probs) != cfg.Elems() {
-		return nil, fmt.Errorf("kernels: softmax backward probs has %d elements, want %d", len(probs), cfg.Elems())
+	grad := make([]float32, cfg.Elems())
+	if err := SoftmaxCrossEntropyBackwardInto(grad, probs, labels, cfg); err != nil {
+		return nil, err
+	}
+	return grad, nil
+}
+
+// SoftmaxCrossEntropyBackwardInto is the allocation-free variant of
+// SoftmaxCrossEntropyBackward, writing the logit gradient into a
+// caller-provided slice of at least cfg.Elems() elements.
+func SoftmaxCrossEntropyBackwardInto(grad, probs []float32, labels []int, cfg SoftmaxConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(probs) < cfg.Elems() {
+		return fmt.Errorf("kernels: softmax backward probs has %d elements, want %d", len(probs), cfg.Elems())
+	}
+	if len(grad) < cfg.Elems() {
+		return fmt.Errorf("kernels: softmax backward grad has %d elements, want %d", len(grad), cfg.Elems())
 	}
 	if len(labels) != cfg.N {
-		return nil, fmt.Errorf("kernels: softmax backward has %d labels, want %d", len(labels), cfg.N)
+		return fmt.Errorf("kernels: softmax backward has %d labels, want %d", len(labels), cfg.N)
 	}
-	grad := make([]float32, len(probs))
 	scale := 1 / float32(cfg.N)
 	for n := 0; n < cfg.N; n++ {
 		lbl := labels[n]
 		if lbl < 0 || lbl >= cfg.Classes {
-			return nil, fmt.Errorf("kernels: label %d out of range for %d classes", lbl, cfg.Classes)
+			return fmt.Errorf("kernels: label %d out of range for %d classes", lbl, cfg.Classes)
 		}
 		for c := 0; c < cfg.Classes; c++ {
 			g := probs[n*cfg.Classes+c]
@@ -338,7 +410,96 @@ func SoftmaxCrossEntropyBackward(probs []float32, labels []int, cfg SoftmaxConfi
 			grad[n*cfg.Classes+c] = g * scale
 		}
 	}
-	return grad, nil
+	return nil
+}
+
+// SoftmaxCrossEntropyBackwardFloatInto is SoftmaxCrossEntropyBackwardInto
+// with the labels carried as float32 values (rounded class indices), the form
+// they take inside a planned training program's float32 arena.
+func SoftmaxCrossEntropyBackwardFloatInto(grad, probs, labels []float32, cfg SoftmaxConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(probs) < cfg.Elems() {
+		return fmt.Errorf("kernels: softmax backward probs has %d elements, want %d", len(probs), cfg.Elems())
+	}
+	if len(grad) < cfg.Elems() {
+		return fmt.Errorf("kernels: softmax backward grad has %d elements, want %d", len(grad), cfg.Elems())
+	}
+	if len(labels) < cfg.N {
+		return fmt.Errorf("kernels: softmax backward has %d labels, want %d", len(labels), cfg.N)
+	}
+	scale := 1 / float32(cfg.N)
+	for n := 0; n < cfg.N; n++ {
+		lbl := int(labels[n])
+		if lbl < 0 || lbl >= cfg.Classes {
+			return fmt.Errorf("kernels: label %d out of range for %d classes", lbl, cfg.Classes)
+		}
+		for c := 0; c < cfg.Classes; c++ {
+			g := probs[n*cfg.Classes+c]
+			if c == lbl {
+				g -= 1
+			}
+			grad[n*cfg.Classes+c] = g * scale
+		}
+	}
+	return nil
+}
+
+// SoftmaxCrossEntropyLossFloat is SoftmaxCrossEntropyLoss with float32-coded
+// labels, matching SoftmaxCrossEntropyBackwardFloatInto.
+func SoftmaxCrossEntropyLossFloat(probs, labels []float32, cfg SoftmaxConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(probs) < cfg.Elems() {
+		return 0, fmt.Errorf("kernels: softmax loss probs has %d elements, want %d", len(probs), cfg.Elems())
+	}
+	if len(labels) < cfg.N {
+		return 0, fmt.Errorf("kernels: softmax loss has %d labels, want %d", len(labels), cfg.N)
+	}
+	var loss float64
+	for n := 0; n < cfg.N; n++ {
+		lbl := int(labels[n])
+		if lbl < 0 || lbl >= cfg.Classes {
+			return 0, fmt.Errorf("kernels: label %d out of range for %d classes", lbl, cfg.Classes)
+		}
+		p := float64(probs[n*cfg.Classes+lbl])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(cfg.N), nil
+}
+
+// SoftmaxCrossEntropyLoss returns the mean cross-entropy of the probability
+// matrix against the labels: -1/N · Σ log probs[n][label n].  The summation
+// order is fixed (by image, in float64), so the loss value is bit-stable
+// across executors — the planned and naive trainers both report it.
+func SoftmaxCrossEntropyLoss(probs []float32, labels []int, cfg SoftmaxConfig) (float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	if len(probs) < cfg.Elems() {
+		return 0, fmt.Errorf("kernels: softmax loss probs has %d elements, want %d", len(probs), cfg.Elems())
+	}
+	if len(labels) != cfg.N {
+		return 0, fmt.Errorf("kernels: softmax loss has %d labels, want %d", len(labels), cfg.N)
+	}
+	var loss float64
+	for n := 0; n < cfg.N; n++ {
+		lbl := labels[n]
+		if lbl < 0 || lbl >= cfg.Classes {
+			return 0, fmt.Errorf("kernels: label %d out of range for %d classes", lbl, cfg.Classes)
+		}
+		p := float64(probs[n*cfg.Classes+lbl])
+		if p < 1e-30 {
+			p = 1e-30 // clamp: a zero probability would make the loss infinite
+		}
+		loss -= math.Log(p)
+	}
+	return loss / float64(cfg.N), nil
 }
 
 // SoftmaxBackwardCost models the (fused) softmax backward kernel: one
@@ -370,23 +531,49 @@ func SoftmaxBackwardCost(d *gpusim.Device, cfg SoftmaxConfig, fused bool) gpusim
 // ReLUBackward masks the incoming gradient with the forward activation's
 // sign: dIn = dOut where the forward input was positive, 0 elsewhere.
 func ReLUBackward(in, dOut *tensor.Tensor) (*tensor.Tensor, error) {
-	if in.Shape != dOut.Shape {
-		return nil, fmt.Errorf("kernels: relu backward shape mismatch %v vs %v", in.Shape, dOut.Shape)
-	}
 	dIn := tensor.New(in.Shape, dOut.Layout)
+	if err := ReLUBackwardInto(in, dOut, dIn); err != nil {
+		return nil, err
+	}
+	return dIn, nil
+}
+
+// ReLUBackwardInto is the allocation-free variant of ReLUBackward.  Every
+// element of dIn is overwritten.  When all three tensors share a layout it is
+// a single linear pass over the backing slices; dIn may alias dOut (the mask
+// reads in, writes only dIn).
+func ReLUBackwardInto(in, dOut, dIn *tensor.Tensor) error {
+	if in.Shape != dOut.Shape {
+		return fmt.Errorf("kernels: relu backward shape mismatch %v vs %v", in.Shape, dOut.Shape)
+	}
+	if dIn.Shape != in.Shape {
+		return fmt.Errorf("kernels: relu backward dIn shape %v, want %v", dIn.Shape, in.Shape)
+	}
+	if in.Layout == dOut.Layout && dOut.Layout == dIn.Layout {
+		for i, v := range in.Data {
+			if v > 0 {
+				dIn.Data[i] = dOut.Data[i]
+			} else {
+				dIn.Data[i] = 0
+			}
+		}
+		return nil
+	}
 	s := in.Shape
 	for n := 0; n < s.N; n++ {
 		for c := 0; c < s.C; c++ {
 			for h := 0; h < s.H; h++ {
 				for w := 0; w < s.W; w++ {
+					var g float32
 					if in.At(n, c, h, w) > 0 {
-						dIn.Set(n, c, h, w, dOut.At(n, c, h, w))
+						g = dOut.At(n, c, h, w)
 					}
+					dIn.Set(n, c, h, w, g)
 				}
 			}
 		}
 	}
-	return dIn, nil
+	return nil
 }
 
 // ConvTrainingCost returns the kernel sequence of one training step of a

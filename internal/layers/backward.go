@@ -1,0 +1,329 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// Training extensions of Layer.  The convolution, pooling, ReLU and softmax
+// gradient kernels live in internal/kernels next to their forward kernels;
+// the layers adapt them (and their own parameters) behind two uniform
+// interfaces so the training compiler (internal/runtime/train) and the device
+// dispatch (internal/runtime) need no per-layer knowledge.  All methods are
+// allocation-free and bit-deterministic for any worker count: parallel passes
+// split work by an atomic row counter and every output element is written by
+// exactly one worker in a fixed accumulation order.
+
+// BackwardLayer is implemented by layers that can propagate a gradient to
+// their input.  Softmax deliberately does not implement it: its backward is
+// only meaningful fused with the cross-entropy loss, which the training
+// compiler lowers as a dedicated loss-gradient op
+// (kernels.SoftmaxCrossEntropyBackward).
+type BackwardLayer interface {
+	Layer
+	// BackwardDataInto computes d(loss)/d(input) into dIn from the incoming
+	// gradient dOut and the layer's forward input in (which layers that do
+	// not need their forward activation ignore).  scratch must hold at least
+	// BackwardWorkspaceElems() elements for layers that report a non-zero
+	// workspace; others ignore it.  dIn is fully overwritten.
+	BackwardDataInto(in, dOut, dIn *tensor.Tensor, scratch []float32) error
+	// BackwardWorkspaceElems returns the scratch BackwardDataInto needs, in
+	// float32 elements (zero for most layers).
+	BackwardWorkspaceElems() int
+}
+
+// TrainableLayer is implemented by layers with parameters: they additionally
+// compute a parameter gradient and apply an SGD step to their (clone-shared)
+// parameter storage.
+type TrainableLayer interface {
+	BackwardLayer
+	// GradShape is the logical shape of the parameter-gradient tensor.
+	GradShape() tensor.Shape
+	// BackwardFilterInto computes d(loss)/d(params) into dW (shape GradShape)
+	// from the layer's forward input and the incoming gradient.
+	BackwardFilterInto(in, dOut, dW *tensor.Tensor) error
+	// ApplySGD updates the parameters in place: W -= lr · dW.  Parameters are
+	// shared across rebatched clones, so the update is visible through every
+	// view of the layer.  Not safe concurrently with forward passes over the
+	// same parameter storage.
+	ApplySGD(dW *tensor.Tensor, lr float32) error
+}
+
+// backwardPlanes mirrors the kernels package's plane-counter parallelism for
+// the layer-owned backward passes.
+func backwardPlanes(planes int, work func(p int)) {
+	var next atomic.Int64
+	drain := func() {
+		for {
+			p := next.Add(1) - 1
+			if p >= int64(planes) {
+				return
+			}
+			work(int(p))
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || planes <= 1 {
+		drain()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drain()
+		}()
+	}
+	wg.Wait()
+}
+
+// BackwardDataInto implements BackwardLayer: the input gradient depends only
+// on the incoming gradient and the filter bank, so the forward input is
+// ignored.
+func (c *Conv) BackwardDataInto(_, dOut, dIn *tensor.Tensor, _ []float32) error {
+	return kernels.ConvBackwardDataInto(dOut, c.Filters(), dIn, c.Cfg)
+}
+
+// BackwardWorkspaceElems implements BackwardLayer.
+func (c *Conv) BackwardWorkspaceElems() int { return 0 }
+
+// GradShape implements TrainableLayer: the filter bank's K×C×FH×FW shape.
+func (c *Conv) GradShape() tensor.Shape { return c.Cfg.FilterShape() }
+
+// BackwardFilterInto implements TrainableLayer.
+func (c *Conv) BackwardFilterInto(in, dOut, dW *tensor.Tensor) error {
+	return kernels.ConvBackwardFilterInto(in, dOut, dW, c.Cfg)
+}
+
+// ApplySGD implements TrainableLayer: the filter bank (shared across
+// rebatched clones) is updated in place, and the packed GEMM operand — if a
+// GEMM program materialised it — is refreshed so subsequent GEMM forwards see
+// the new weights.
+func (c *Conv) ApplySGD(dW *tensor.Tensor, lr float32) error {
+	filters := c.Filters()
+	if dW.Shape != filters.Shape {
+		return fmt.Errorf("layers: %s: sgd dW shape %v, want %v", c.LayerName, dW.Shape, filters.Shape)
+	}
+	if dW.Layout == filters.Layout {
+		for i, g := range dW.Data {
+			filters.Data[i] -= lr * g
+		}
+	} else {
+		s := filters.Shape
+		for k := 0; k < s.N; k++ {
+			for ch := 0; ch < s.C; ch++ {
+				for fh := 0; fh < s.H; fh++ {
+					for fw := 0; fw < s.W; fw++ {
+						filters.Set(k, ch, fh, fw, filters.At(k, ch, fh, fw)-lr*dW.At(k, ch, fh, fw))
+					}
+				}
+			}
+		}
+	}
+	c.refreshPacked()
+	return nil
+}
+
+// BackwardDataInto implements BackwardLayer: max pooling routes each gradient
+// to its window's argmax in the forward input, average pooling spreads it.
+func (p *Pool) BackwardDataInto(in, dOut, dIn *tensor.Tensor, _ []float32) error {
+	return kernels.PoolBackwardInto(in, dOut, dIn, p.Cfg)
+}
+
+// BackwardWorkspaceElems implements BackwardLayer.
+func (p *Pool) BackwardWorkspaceElems() int { return 0 }
+
+// BackwardDataInto implements BackwardLayer: the gradient is masked by the
+// sign of the forward input.
+func (r *ReLU) BackwardDataInto(in, dOut, dIn *tensor.Tensor, _ []float32) error {
+	return kernels.ReLUBackwardInto(in, dOut, dIn)
+}
+
+// BackwardWorkspaceElems implements BackwardLayer.
+func (r *ReLU) BackwardWorkspaceElems() int { return 0 }
+
+// BackwardDataInto implements BackwardLayer: dIn[n][k] = Σ_o dOut[n][o] ·
+// W[o][k].  The input gradient depends only on the weights, so the forward
+// input is ignored.  Each image row is computed by one worker, so the result
+// is bit-deterministic for any worker count.
+func (f *FullyConnected) BackwardDataInto(_, dOut, dIn *tensor.Tensor, _ []float32) error {
+	if dOut.Shape != f.OutputShape() {
+		return fmt.Errorf("layers: %s: backward dOut shape %v, want %v", f.LayerName, dOut.Shape, f.OutputShape())
+	}
+	if dIn.Shape.Elems() != f.InputShape().Elems() || dIn.Shape.N != f.Batch {
+		return fmt.Errorf("layers: %s: backward dIn shape %v incompatible with %v", f.LayerName, dIn.Shape, f.InputShape())
+	}
+	w := f.Weights()
+	fast := dOut.Layout == tensor.NCHW && dIn.Layout == tensor.NCHW
+	backwardPlanes(f.Batch, func(n int) {
+		if fast {
+			gRow := dOut.Data[n*f.OutDim : (n+1)*f.OutDim]
+			dRow := dIn.Data[n*f.InDim : (n+1)*f.InDim]
+			for k := 0; k < f.InDim; k++ {
+				var acc float64
+				for o, g := range gRow {
+					acc += float64(g) * float64(w[o*f.InDim+k])
+				}
+				dRow[k] = float32(acc)
+			}
+			return
+		}
+		for k := 0; k < f.InDim; k++ {
+			var acc float64
+			for o := 0; o < f.OutDim; o++ {
+				acc += float64(dOut.At(n, o, 0, 0)) * float64(w[o*f.InDim+k])
+			}
+			dIn.Set(n, k, 0, 0, float32(acc))
+		}
+	})
+	return nil
+}
+
+// BackwardWorkspaceElems implements BackwardLayer.
+func (f *FullyConnected) BackwardWorkspaceElems() int { return 0 }
+
+// GradShape implements TrainableLayer: the OutDim×InDim weight matrix carried
+// N×C×1×1 like the weights themselves.
+func (f *FullyConnected) GradShape() tensor.Shape {
+	return tensor.Shape{N: f.OutDim, C: f.InDim, H: 1, W: 1}
+}
+
+// BackwardFilterInto implements TrainableLayer: dW[o][k] = Σ_n dOut[n][o] ·
+// in[n][k], with `in` the flattened feature matrix the forward pass consumed.
+// Each weight row is accumulated by one worker over the batch in a fixed
+// order; the fast path keeps a float64 accumulator row pattern equivalent to
+// the generic one (per-element float64 adds in n order), so both paths agree
+// bit for bit.
+func (f *FullyConnected) BackwardFilterInto(in, dOut, dW *tensor.Tensor) error {
+	if in.Shape.Elems() != f.InputShape().Elems() || in.Shape.N != f.Batch {
+		return fmt.Errorf("layers: %s: backward input shape %v incompatible with %v", f.LayerName, in.Shape, f.InputShape())
+	}
+	if dOut.Shape != f.OutputShape() {
+		return fmt.Errorf("layers: %s: backward dOut shape %v, want %v", f.LayerName, dOut.Shape, f.OutputShape())
+	}
+	if dW.Shape != f.GradShape() {
+		return fmt.Errorf("layers: %s: backward dW shape %v, want %v", f.LayerName, dW.Shape, f.GradShape())
+	}
+	fast := in.Layout == tensor.NCHW && dOut.Layout == tensor.NCHW && dW.Layout == tensor.NCHW
+	backwardPlanes(f.OutDim, func(o int) {
+		if fast {
+			wRow := dW.Data[o*f.InDim : (o+1)*f.InDim]
+			for k := range wRow {
+				var acc float64
+				for n := 0; n < f.Batch; n++ {
+					acc += float64(dOut.Data[n*f.OutDim+o]) * float64(in.Data[n*f.InDim+k])
+				}
+				wRow[k] = float32(acc)
+			}
+			return
+		}
+		for k := 0; k < f.InDim; k++ {
+			var acc float64
+			for n := 0; n < f.Batch; n++ {
+				acc += float64(dOut.At(n, o, 0, 0)) * float64(in.At(n, k, 0, 0))
+			}
+			dW.Set(o, k, 0, 0, float32(acc))
+		}
+	})
+	return nil
+}
+
+// ApplySGD implements TrainableLayer: the weight matrix (shared across
+// rebatched clones through one backing slice) is updated in place.
+func (f *FullyConnected) ApplySGD(dW *tensor.Tensor, lr float32) error {
+	if dW.Shape != f.GradShape() {
+		return fmt.Errorf("layers: %s: sgd dW shape %v, want %v", f.LayerName, dW.Shape, f.GradShape())
+	}
+	w := f.Weights()
+	if dW.Layout == tensor.NCHW {
+		for i, g := range dW.Data {
+			w[i] -= lr * g
+		}
+		return nil
+	}
+	for o := 0; o < f.OutDim; o++ {
+		for k := 0; k < f.InDim; k++ {
+			w[o*f.InDim+k] -= lr * dW.At(o, k, 0, 0)
+		}
+	}
+	return nil
+}
+
+// BackwardWorkspaceElems implements BackwardLayer: two per-channel staging
+// rows.
+func (l *LRN) BackwardWorkspaceElems() int { return 2 * l.Shape.C }
+
+// BackwardDataInto implements BackwardLayer.  With y_i = x_i · s_i^{-β} and
+// s_i = 1 + (α/size)·Σ_{j∈win(i)} x_j², the gradient is
+//
+//	dX_j = dY_j · s_j^{-β} - (2αβ/size) · x_j · Σ_{i: j∈win(i)} dY_i · x_i · s_i^{-β-1}
+//
+// and window membership is symmetric, so the same clamped window serves both
+// directions.  The scratch stages the per-channel s^{-β} and dY·x·s^{-β-1}
+// rows; the pass is sequential in a fixed order, so it is trivially
+// bit-deterministic.
+func (l *LRN) BackwardDataInto(in, dOut, dIn *tensor.Tensor, scratch []float32) error {
+	if in.Shape != l.Shape {
+		return fmt.Errorf("layers: %s: backward input shape %v, want %v", l.LayerName, in.Shape, l.Shape)
+	}
+	if dOut.Shape != l.Shape {
+		return fmt.Errorf("layers: %s: backward dOut shape %v, want %v", l.LayerName, dOut.Shape, l.Shape)
+	}
+	if dIn.Shape != l.Shape {
+		return fmt.Errorf("layers: %s: backward dIn shape %v, want %v", l.LayerName, dIn.Shape, l.Shape)
+	}
+	if len(scratch) < l.BackwardWorkspaceElems() {
+		return fmt.Errorf("layers: %s: scratch has %d elements, want at least %d", l.LayerName, len(scratch), l.BackwardWorkspaceElems())
+	}
+	half := l.LocalSize / 2
+	C := l.Shape.C
+	pow, prod := scratch[:C], scratch[C:2*C]
+	coef := 2 * l.Alpha * l.Beta / float64(l.LocalSize)
+	for n := 0; n < l.Shape.N; n++ {
+		for h := 0; h < l.Shape.H; h++ {
+			for w := 0; w < l.Shape.W; w++ {
+				for c := 0; c < C; c++ {
+					lo, hi := c-half, c+half
+					if lo < 0 {
+						lo = 0
+					}
+					if hi >= C {
+						hi = C - 1
+					}
+					var sq float64
+					for cc := lo; cc <= hi; cc++ {
+						v := float64(in.At(n, cc, h, w))
+						sq += v * v
+					}
+					s := 1 + l.Alpha/float64(l.LocalSize)*sq
+					sInv := math.Pow(s, -l.Beta-1)
+					pow[c] = float32(sInv * s) // s^{-β}
+					prod[c] = float32(float64(dOut.At(n, c, h, w)) * float64(in.At(n, c, h, w)) * sInv)
+				}
+				for c := 0; c < C; c++ {
+					lo, hi := c-half, c+half
+					if lo < 0 {
+						lo = 0
+					}
+					if hi >= C {
+						hi = C - 1
+					}
+					var acc float64
+					for cc := lo; cc <= hi; cc++ {
+						acc += float64(prod[cc])
+					}
+					g := float64(dOut.At(n, c, h, w))*float64(pow[c]) - coef*float64(in.At(n, c, h, w))*acc
+					dIn.Set(n, c, h, w, float32(g))
+				}
+			}
+		}
+	}
+	return nil
+}

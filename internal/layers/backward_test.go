@@ -1,0 +1,196 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/tensor"
+)
+
+// Finite-difference checks for the backward passes that live at the layer
+// level (fully connected, LRN) plus the SGD update contract.  The probe is
+// L(x) = Σ dOut·forward(x), whose gradient is the backward kernel applied to
+// cotangent dOut.
+
+const (
+	fdStep = 1e-2
+	fdTol  = 2e-2
+)
+
+func fdRelErr(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Abs(a)+math.Abs(b))
+}
+
+func probe(w, out []float32) float64 {
+	var s float64
+	for i, v := range out {
+		s += float64(w[i]) * float64(v)
+	}
+	return s
+}
+
+func fdCheck(t *testing.T, name string, x, grad []float32, loss func() float64) {
+	t.Helper()
+	bad := 0
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + fdStep
+		up := loss()
+		x[i] = orig - fdStep
+		down := loss()
+		x[i] = orig
+		fd := (up - down) / (2 * fdStep)
+		if err := fdRelErr(fd, float64(grad[i])); err > fdTol {
+			if bad < 5 {
+				t.Errorf("%s: element %d: fd %v vs analytic %v (rel err %v)", name, i, fd, grad[i], err)
+			}
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Errorf("%s: %d/%d gradient elements outside tolerance", name, bad, len(x))
+	}
+}
+
+func TestFullyConnectedBackwardGradient(t *testing.T) {
+	fc := &FullyConnected{LayerName: "fc", Batch: 3, InDim: 7, OutDim: 4, Seed: 71}
+	in := tensor.Random(fc.InputShape(), tensor.NCHW, 72)
+	dOut := tensor.Random(fc.OutputShape(), tensor.NCHW, 73)
+
+	out := tensor.New(fc.OutputShape(), tensor.NCHW)
+	loss := func() float64 {
+		if err := fc.ForwardInto(in, out); err != nil {
+			t.Fatal(err)
+		}
+		return probe(dOut.Data, out.Data)
+	}
+
+	dIn := tensor.New(fc.InputShape(), tensor.NCHW)
+	if err := fc.BackwardDataInto(nil, dOut, dIn, nil); err != nil {
+		t.Fatal(err)
+	}
+	fdCheck(t, "fc-bwd-data", in.Data, dIn.Data, loss)
+
+	dW := tensor.New(fc.GradShape(), tensor.NCHW)
+	if err := fc.BackwardFilterInto(in, dOut, dW); err != nil {
+		t.Fatal(err)
+	}
+	fdCheck(t, "fc-bwd-filter", fc.Weights(), dW.Data, loss)
+}
+
+func TestLRNBackwardGradient(t *testing.T) {
+	shape := tensor.Shape{N: 2, C: 5, H: 3, W: 3}
+	// A large alpha makes the normalisation term carry real gradient signal
+	// (AlexNet's 1e-4 would vanish under the FD tolerance).
+	lrn, err := NewLRN("lrn", shape, 3, 0.5, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.Random(shape, tensor.NCHW, 81)
+	dOut := tensor.Random(shape, tensor.NCHW, 82)
+
+	out := tensor.New(shape, tensor.NCHW)
+	loss := func() float64 {
+		if err := lrn.ForwardInto(in, out); err != nil {
+			t.Fatal(err)
+		}
+		return probe(dOut.Data, out.Data)
+	}
+
+	dIn := tensor.New(shape, tensor.NCHW)
+	scratch := make([]float32, lrn.BackwardWorkspaceElems())
+	if err := lrn.BackwardDataInto(in, dOut, dIn, scratch); err != nil {
+		t.Fatal(err)
+	}
+	fdCheck(t, "lrn-bwd-data", in.Data, dIn.Data, loss)
+}
+
+// TestConvApplySGDRefreshesPacked checks the staleness contract: the GEMM
+// path's packed filter copy must track an in-place weight update.
+func TestConvApplySGDRefreshesPacked(t *testing.T) {
+	conv, err := NewConv("conv", kernels.ConvConfig{N: 1, C: 2, H: 5, W: 5, K: 3, FH: 3, FW: 3, PadH: 1, PadW: 1}, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedBefore := append([]float32(nil), conv.PackedFilters()...)
+
+	dW := tensor.New(conv.GradShape(), tensor.NCHW)
+	for i := range dW.Data {
+		dW.Data[i] = float32(i%7) * 0.01
+	}
+	want := make([]float32, len(conv.Filters().Data))
+	for i, w := range conv.Filters().Data {
+		want[i] = w - 0.1*dW.Data[i]
+	}
+	if err := conv.ApplySGD(dW, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range conv.Filters().Data {
+		if math.Float32bits(w) != math.Float32bits(want[i]) {
+			t.Fatalf("filter %d: got %v want %v", i, w, want[i])
+		}
+	}
+	packedAfter := conv.PackedFilters()
+	same := true
+	for i := range packedAfter {
+		if packedAfter[i] != packedBefore[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("packed filters unchanged after SGD update")
+	}
+	// The packed copy must be the flattening of the updated filters: compare
+	// against a freshly built conv holding the updated weights.
+	fresh, err := NewConv("conv2", kernels.ConvConfig{N: 1, C: 2, H: 5, W: 5, K: 3, FH: 3, FW: 3, PadH: 1, PadW: 1}, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fresh.Filters().Data, conv.Filters().Data)
+	freshPacked := fresh.PackedFilters()
+	for i := range packedAfter {
+		if math.Float32bits(packedAfter[i]) != math.Float32bits(freshPacked[i]) {
+			t.Fatalf("packed filter %d stale after SGD: got %v want %v", i, packedAfter[i], freshPacked[i])
+		}
+	}
+}
+
+func TestFullyConnectedApplySGD(t *testing.T) {
+	fc := &FullyConnected{LayerName: "fc", Batch: 2, InDim: 3, OutDim: 2, Seed: 95}
+	before := append([]float32(nil), fc.Weights()...)
+	dW := tensor.New(fc.GradShape(), tensor.NCHW)
+	for i := range dW.Data {
+		dW.Data[i] = float32(i) * 0.5
+	}
+	if err := fc.ApplySGD(dW, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range fc.Weights() {
+		want := before[i] - 0.2*dW.Data[i]
+		if math.Float32bits(w) != math.Float32bits(want) {
+			t.Fatalf("weight %d: got %v want %v", i, w, want)
+		}
+	}
+}
+
+// The training interfaces must be satisfied exactly as the compiler relies on
+// them: every feature layer propagates gradients, conv and FC carry
+// parameters, softmax deliberately stays outside (its backward only exists
+// fused with the loss).
+func TestTrainingInterfaceCompliance(t *testing.T) {
+	var _ BackwardLayer = (*Conv)(nil)
+	var _ BackwardLayer = (*Pool)(nil)
+	var _ BackwardLayer = (*ReLU)(nil)
+	var _ BackwardLayer = (*FullyConnected)(nil)
+	var _ BackwardLayer = (*LRN)(nil)
+	var _ TrainableLayer = (*Conv)(nil)
+	var _ TrainableLayer = (*FullyConnected)(nil)
+	if _, ok := interface{}(&Softmax{}).(BackwardLayer); ok {
+		t.Fatal("softmax must not implement BackwardLayer: its backward is fused into the loss gradient")
+	}
+	if _, ok := interface{}(&Pool{}).(TrainableLayer); ok {
+		t.Fatal("pool has no parameters and must not be trainable")
+	}
+}

@@ -278,6 +278,34 @@ func (c *Conv) PackedFilters() []float32 {
 	return c.packed
 }
 
+// refreshPacked re-flattens the filter bank into the packed GEMM operand
+// after an in-place weight update, writing over the existing slice so every
+// rebatched clone sharing it sees the refresh.  A nil packed slice means no
+// GEMM program ever materialised it, and there is nothing to refresh; the
+// unsynchronised read is safe because ApplySGD's contract already forbids
+// running training concurrently with forwards on the same layer.
+func (c *Conv) refreshPacked() {
+	if c.parent != nil {
+		c.parent.refreshPacked()
+		return
+	}
+	if c.packed == nil {
+		return
+	}
+	filters := c.Filters()
+	idx := 0
+	for k := 0; k < c.Cfg.K; k++ {
+		for ch := 0; ch < c.Cfg.C; ch++ {
+			for fh := 0; fh < c.Cfg.FH; fh++ {
+				for fw := 0; fw < c.Cfg.FW; fw++ {
+					c.packed[idx] = filters.At(k, ch, fh, fw)
+					idx++
+				}
+			}
+		}
+	}
+}
+
 // GemmWorkspaceElems implements GemmForwarder.
 func (c *Conv) GemmWorkspaceElems(outLayout tensor.Layout) int {
 	return kernels.ConvGemmWorkspaceElems(c.Cfg, outLayout)

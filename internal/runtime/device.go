@@ -28,8 +28,10 @@ type Device interface {
 	Name() string
 	// RunOp executes op prog.Ops[opIndex] over arena-backed views, returning
 	// the modeled device time in microseconds — zero on an unmodeled device.
+	// aux carries the op's second read operand (a training op's forward
+	// activation or label vector) and is nil when the op declares none.
 	// Alias reshapes never reach RunOp; the executor skips them.
-	RunOp(prog *Program, opIndex int, in, out *tensor.Tensor, scratch []float32) (modeledUS float64, err error)
+	RunOp(prog *Program, opIndex int, in, out, aux *tensor.Tensor, scratch []float32) (modeledUS float64, err error)
 	// TransferInUS models receiving bytes onto this device across the host
 	// interconnect at a pipeline-stage boundary (zero on an unmodeled
 	// device, and for the first stage, which is fed by the caller).
@@ -50,7 +52,7 @@ func (CPUDevice) Name() string { return "cpu" }
 func (CPUDevice) TransferInUS(int64) float64 { return 0 }
 
 // RunOp implements Device.
-func (CPUDevice) RunOp(prog *Program, opIndex int, in, out *tensor.Tensor, scratch []float32) (float64, error) {
+func (CPUDevice) RunOp(prog *Program, opIndex int, in, out, aux *tensor.Tensor, scratch []float32) (float64, error) {
 	op := prog.Ops[opIndex]
 	switch op.Kind {
 	case OpTransform:
@@ -61,14 +63,57 @@ func (CPUDevice) RunOp(prog *Program, opIndex int, in, out *tensor.Tensor, scrat
 		if err := tensor.ReshapeInto(in, out); err != nil {
 			return 0, fmt.Errorf("%s: %w", op.Name, err)
 		}
-	case OpLayer:
+	case OpLayer, OpRecompute:
 		if err := runLayer(op, in, out, scratch); err != nil {
 			return 0, fmt.Errorf("layer %q: %w", op.Name, err)
+		}
+	case OpLossGrad:
+		if err := runLossGrad(op, in, out, aux); err != nil {
+			return 0, fmt.Errorf("%s: %w", op.Name, err)
+		}
+	case OpBackward:
+		bl, ok := op.Layer.(layers.BackwardLayer)
+		if !ok {
+			return 0, fmt.Errorf("layer %q has no backward pass", op.Name)
+		}
+		if err := bl.BackwardDataInto(aux, in, out, scratch); err != nil {
+			return 0, fmt.Errorf("backward %q: %w", op.Name, err)
+		}
+	case OpGradFilter:
+		tl, ok := op.Layer.(layers.TrainableLayer)
+		if !ok {
+			return 0, fmt.Errorf("layer %q has no parameters", op.Name)
+		}
+		if err := tl.BackwardFilterInto(aux, in, out); err != nil {
+			return 0, fmt.Errorf("grad-filter %q: %w", op.Name, err)
+		}
+	case OpSGD:
+		tl, ok := op.Layer.(layers.TrainableLayer)
+		if !ok {
+			return 0, fmt.Errorf("layer %q has no parameters", op.Name)
+		}
+		if err := tl.ApplySGD(in, op.LR); err != nil {
+			return 0, fmt.Errorf("sgd %q: %w", op.Name, err)
 		}
 	default:
 		return 0, fmt.Errorf("unknown op kind %v", op.Kind)
 	}
 	return 0, nil
+}
+
+// runLossGrad executes the fused softmax + cross-entropy gradient: in is the
+// probability matrix, aux the float32-coded labels, out the logit gradient.
+// The training compiler lowers these buffers in the NCHW linearisation, where
+// the N×C×1×1 backing slices are the row-major matrices themselves.
+func runLossGrad(op Op, in, out, aux *tensor.Tensor) error {
+	if in.Layout != tensor.NCHW || out.Layout != tensor.NCHW {
+		return fmt.Errorf("loss gradient requires NCHW probability buffers, got %v/%v", in.Layout, out.Layout)
+	}
+	if aux == nil {
+		return fmt.Errorf("loss gradient has no label buffer")
+	}
+	cfg := kernels.SoftmaxConfig{N: in.Shape.N, Classes: in.Shape.C}
+	return kernels.SoftmaxCrossEntropyBackwardFloatInto(out.Data, in.Data, aux.Data, cfg)
 }
 
 // DefaultInterconnectGBs is the modeled host-interconnect bandwidth for
@@ -124,8 +169,8 @@ func (d *SimDevice) Name() string {
 // RunOp implements Device: the op runs on the CPU for its real result and is
 // priced on the hardware model (from the per-program cache, so the Cost
 // sequence is evaluated once per op, not once per batch).
-func (d *SimDevice) RunOp(prog *Program, opIndex int, in, out *tensor.Tensor, scratch []float32) (float64, error) {
-	_, err := d.cpu.RunOp(prog, opIndex, in, out, scratch)
+func (d *SimDevice) RunOp(prog *Program, opIndex int, in, out, aux *tensor.Tensor, scratch []float32) (float64, error) {
+	_, err := d.cpu.RunOp(prog, opIndex, in, out, aux, scratch)
 	return d.programCosts(prog)[opIndex], err
 }
 
@@ -190,7 +235,7 @@ func (d *SimDevice) TransferInUS(bytes int64) float64 {
 // streaming read+write passes; alias reshapes are free.
 func (d *SimDevice) ModelOpUS(prog *Program, op Op) float64 {
 	switch op.Kind {
-	case OpLayer:
+	case OpLayer, OpRecompute:
 		layout := prog.Buffers[op.In].Layout
 		stats, err := op.Layer.Cost(d.HW, layout, costOptionsFor(op, layout))
 		if err != nil {
@@ -205,9 +250,64 @@ func (d *SimDevice) ModelOpUS(prog *Program, op Op) float64 {
 			return 0
 		}
 		return d.streamUS(prog.Buffers[op.In].Bytes() + prog.Buffers[op.Out].Bytes())
+	case OpLossGrad:
+		shape := prog.Buffers[op.In].Shape
+		cfg := kernels.SoftmaxConfig{N: shape.N, Classes: shape.C}
+		total, _ := gpusim.EstimateSequence(d.HW, []gpusim.KernelStats{
+			kernels.SoftmaxBackwardCost(d.HW, cfg, true),
+		})
+		return total
+	case OpBackward, OpGradFilter:
+		if stats := trainingOpCost(d.HW, prog, op); stats != nil {
+			total, _ := gpusim.EstimateSequence(d.HW, stats)
+			return total
+		}
+		// Element-wise and window backward passes (ReLU, LRN) are bandwidth
+		// bound: stream the gradient, the forward activation and the result.
+		bytes := prog.Buffers[op.In].Bytes() + prog.Buffers[op.Out].Bytes()
+		if op.Aux != NoBuffer {
+			bytes += prog.Buffers[op.Aux].Bytes()
+		}
+		return d.streamUS(bytes)
+	case OpSGD:
+		// Read the gradient and the parameters, write the parameters back.
+		return d.streamUS(3 * prog.Buffers[op.In].Bytes())
 	default:
 		return 0
 	}
+}
+
+// trainingOpCost maps a backward or grad-filter op onto the kernels package's
+// training cost models — the same models bench.TrainingStep prices whole
+// layers with.  It returns nil for layers priced as pure streaming passes.
+func trainingOpCost(hw *gpusim.Device, prog *Program, op Op) []gpusim.KernelStats {
+	layout := prog.Buffers[op.In].Layout
+	switch l := op.Layer.(type) {
+	case *layers.Conv:
+		cfg := l.Config()
+		if op.Kind == OpGradFilter {
+			return kernels.ConvBackwardFilterCost(hw, cfg)
+		}
+		if layout == tensor.CHWN {
+			return []gpusim.KernelStats{kernels.ConvBackwardDataCHWNCost(hw, cfg)}
+		}
+		return kernels.ConvBackwardDataNCHWCost(hw, cfg)
+	case *layers.Pool:
+		if op.Kind == OpBackward {
+			return []gpusim.KernelStats{kernels.PoolBackwardCost(hw, l.Cfg, layout == tensor.CHWN)}
+		}
+	case *layers.FullyConnected:
+		// Both directions are GEMMs over the weight matrix: dIn = dOut·W and
+		// dW = dOutᵀ·In.
+		g := kernels.GemmCostConfig{M: l.InDim, N: l.Batch, K: l.OutDim}
+		if op.Kind == OpGradFilter {
+			g = kernels.GemmCostConfig{M: l.OutDim, N: l.InDim, K: l.Batch}
+		}
+		s := kernels.GemmCost(hw, g)
+		s.Name = fmt.Sprintf("fc-bwd %s", op.Name)
+		return []gpusim.KernelStats{s}
+	}
+	return nil
 }
 
 // ModelProgramUS prices a whole program: the sum of its op estimates, each op

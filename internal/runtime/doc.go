@@ -79,4 +79,20 @@
 // counters, single-flight on concurrent identical inputs) sits in front of
 // the batching queue, so repeated inputs skip execution entirely.  That is
 // how the planned engine serves traffic — see cmd/memcnnserve.
+//
+// The train sub-package extends the same discipline to training.
+// CompileTraining appends loss and backward ops to the lowered forward
+// program — OpLossGrad (fused softmax cross-entropy gradient), OpBackward
+// (data gradients via layers.BackwardLayer), OpGradFilter and OpSGD (for
+// layers.TrainableLayer), and OpRecompute for checkpointed activations — and
+// the memory plan covers the joint forward+backward graph: an activation
+// needed by a backward op stays live until that op, unless the checkpointing
+// policy drops it at the forward peak and re-derives it just in time from its
+// stored predecessor.  Whether checkpointing is worth it is decided by the
+// planner (strictly lower peak, recompute cost priced on gpusim).  Training
+// ops dispatch through the same Device abstraction — bit-deterministic on
+// CPUDevice, priced per op on SimDevice — and train.Trainer wraps the planned
+// executor into a step/epoch loop.  Note the naming split: core.Optimizer is
+// the paper's layout planner, while the gradient-descent optimiser (SGD)
+// lives here.
 package runtime

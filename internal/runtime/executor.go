@@ -91,7 +91,11 @@ func (inst *Instance) run(dev Device, in, dst *tensor.Tensor) (float64, error) {
 		if op.Scratch != NoBuffer {
 			scratch = inst.bufs[op.Scratch].Data
 		}
-		us, err := dev.RunOp(inst.prog, i, inst.bufs[op.In], inst.bufs[op.Out], scratch)
+		var aux *tensor.Tensor
+		if op.Aux != NoBuffer {
+			aux = inst.bufs[op.Aux]
+		}
+		us, err := dev.RunOp(inst.prog, i, inst.bufs[op.In], inst.bufs[op.Out], aux, scratch)
 		if err != nil {
 			return modeledUS, fmt.Errorf("runtime: %w", err)
 		}

@@ -56,6 +56,29 @@ const (
 	// OpLayer runs one network layer from its input buffer into its output
 	// buffer.
 	OpLayer
+	// OpRecompute re-runs a layer's forward pass during the backward phase to
+	// rematerialise an activation the checkpointing planner chose not to
+	// store.  It executes exactly like OpLayer; the distinct kind keeps the
+	// traded-away FLOPs visible in reports and prevents a recompute from being
+	// mistaken for part of the forward pass.
+	OpRecompute
+	// OpLossGrad computes the fused softmax + cross-entropy gradient: In is
+	// the probability buffer, Aux the float32-coded label vector, Out the
+	// logit gradient (all N×Classes matrices except the labels).
+	OpLossGrad
+	// OpBackward propagates a gradient through one layer: In is the incoming
+	// output-gradient, Aux the layer's forward input where the layer needs it
+	// (pooling argmax, ReLU mask, LRN window; NoBuffer for conv and
+	// fully-connected, whose input gradients depend only on their
+	// parameters), Out the input-gradient.
+	OpBackward
+	// OpGradFilter computes a parameter gradient: In is the incoming
+	// output-gradient, Aux the layer's forward input, Out the parameter
+	// gradient in the layer's GradShape.
+	OpGradFilter
+	// OpSGD applies In (a parameter gradient) to the op's layer in place with
+	// learning rate LR; Out equals In (the op defines no new value).
+	OpSGD
 )
 
 // String names the op kind.
@@ -67,6 +90,16 @@ func (k OpKind) String() string {
 		return "reshape"
 	case OpLayer:
 		return "layer"
+	case OpRecompute:
+		return "recompute"
+	case OpLossGrad:
+		return "loss-grad"
+	case OpBackward:
+		return "backward"
+	case OpGradFilter:
+		return "grad-filter"
+	case OpSGD:
+		return "sgd"
 	default:
 		return fmt.Sprintf("OpKind(%d)", int(k))
 	}
@@ -88,6 +121,14 @@ type Op struct {
 	// executor hands the layer (GEMM conv workspace, fully-connected flatten
 	// staging, softmax logits).  It is live only during this op.
 	Scratch BufferID
+
+	// Aux, when not NoBuffer, is a second read operand: the forward
+	// activation a training backward op consumes (OpBackward, OpGradFilter)
+	// or the label vector of the loss gradient (OpLossGrad).  Always NoBuffer
+	// on inference op kinds.
+	Aux BufferID
+	// LR is the learning rate of an OpSGD op; zero otherwise.
+	LR float32
 }
 
 // Program is a network lowered to an executable op list over explicit
@@ -103,7 +144,11 @@ type Program struct {
 	Ops     []Op
 	Input   BufferID
 	Output  BufferID
-	Mem     *MemPlan
+	// ExtraInputs are buffers written by the caller before the run rather
+	// than by any op (a training program's label vector).  The memory planner
+	// treats them like Input: defined before the first op.
+	ExtraInputs []BufferID
+	Mem         *MemPlan
 }
 
 // InputShape returns the shape the program consumes.
@@ -276,7 +321,7 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 			p.Ops = append(p.Ops, Op{
 				Kind: OpTransform,
 				Name: fmt.Sprintf("%v->%v before %s", from, lay, l.Name()),
-				In:   cur, Out: out, Scratch: NoBuffer,
+				In:   cur, Out: out, Scratch: NoBuffer, Aux: NoBuffer,
 			})
 			cur = out
 		}
@@ -293,7 +338,7 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 			p.Ops = append(p.Ops, Op{
 				Kind: OpReshape,
 				Name: fmt.Sprintf("%v->%v before %s", p.Buffers[cur].Shape, in, l.Name()),
-				In:   cur, Out: out, Scratch: NoBuffer,
+				In:   cur, Out: out, Scratch: NoBuffer, Aux: NoBuffer,
 			})
 			cur = out
 		}
@@ -306,7 +351,7 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 			alias = p.root(cur)
 		}
 		out := newBuf(l.OutputShape(), lay, alias)
-		op := Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out, Scratch: NoBuffer}
+		op := Op{Kind: OpLayer, Name: l.Name(), Layer: l, In: cur, Out: out, Scratch: NoBuffer, Aux: NoBuffer}
 		if gf, ok := l.(layers.GemmForwarder); ok && (opts.ConvAlgorithms || forced != nil) {
 			var alg kernels.ConvAlgorithm
 			if forced != nil {

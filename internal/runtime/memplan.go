@@ -74,9 +74,17 @@ func PlanMemory(p *Program) (*MemPlan, error) {
 		}
 	}
 	touch(p.Input, -1, true)
+	for _, id := range p.ExtraInputs {
+		// Caller-staged side inputs (a training program's labels) are written
+		// before the first op, like the main input.
+		touch(id, -1, true)
+	}
 	for i, op := range p.Ops {
 		touch(op.In, i, false)
 		touch(op.Out, i, true)
+		if op.Aux != NoBuffer {
+			touch(op.Aux, i, false)
+		}
 		if op.Scratch != NoBuffer {
 			// Workspace buffers are written and consumed inside their op, so
 			// their live range is the single op index.

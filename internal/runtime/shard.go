@@ -314,6 +314,9 @@ func subProgram(base *Program, index, first, last int) (*Program, error) {
 		if op.Scratch != NoBuffer {
 			op.Scratch = mapBuf(op.Scratch)
 		}
+		if op.Aux != NoBuffer {
+			op.Aux = mapBuf(op.Aux)
+		}
 		sp.Ops = append(sp.Ops, op)
 	}
 	sp.Output = idmap[base.Ops[last].Out]

@@ -1,0 +1,407 @@
+// Package train extends the planned runtime to whole training steps: one
+// compiled op list covers the forward pass, the softmax cross-entropy loss
+// gradient, the backward pass and the SGD parameter update, and the memory
+// planner (runtime.PlanMemory) packs the joint graph — forward activations
+// the backward pass still needs, gradient buffers that die as soon as the
+// upstream layer consumes them, and op-local workspaces — into one arena.
+//
+// Checkpointing is a planner decision: cheap activations (ReLU and pooling
+// outputs) can be dropped from the stored set and recomputed just in time
+// during the backward pass (OpRecompute), trading a bounded amount of forward
+// FLOPs — each dropped activation is recomputed at most once — for peak arena
+// bytes.  CheckpointAuto compiles both variants and keeps the smaller plan.
+//
+// The paper profiles its memory optimisations on complete forward-backward
+// Caffe iterations and notes that forward and backward share data structures
+// and convolution kernels; this package is that extension of the inference
+// planner built by the earlier milestones.
+package train
+
+import (
+	"fmt"
+
+	"memcnn/internal/layers"
+	"memcnn/internal/network"
+	"memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+)
+
+// Checkpoint selects the recompute-vs-store policy for cheap activations.
+type Checkpoint int
+
+const (
+	// CheckpointAuto compiles both variants and keeps the one with the lower
+	// planned peak — checkpointing is a planner decision, not a user knob.
+	CheckpointAuto Checkpoint = iota
+	// CheckpointOff stores every forward activation until its last backward
+	// use.
+	CheckpointOff
+	// CheckpointOn drops ReLU and pooling outputs after their forward
+	// consumer and recomputes them during the backward pass.
+	CheckpointOn
+)
+
+// String names the policy.
+func (c Checkpoint) String() string {
+	switch c {
+	case CheckpointAuto:
+		return "auto"
+	case CheckpointOff:
+		return "store"
+	case CheckpointOn:
+		return "recompute"
+	default:
+		return fmt.Sprintf("Checkpoint(%d)", int(c))
+	}
+}
+
+// SGD is the optimiser the training subsystem implements: plain stochastic
+// gradient descent, W -= LR · dW, applied in place by the program's OpSGD
+// ops.  It is deliberately named after the update rule — internal/core's
+// Optimizer, despite the name, optimises data layouts, not parameters.
+type SGD struct {
+	// LR is the learning rate; zero selects DefaultLR.
+	LR float32
+}
+
+// DefaultLR is the learning rate used when Options leave SGD unset.
+const DefaultLR = 0.01
+
+// Options control how CompileTraining lowers a network.
+type Options struct {
+	// Checkpoint selects the recompute-vs-store policy (default
+	// CheckpointAuto).
+	Checkpoint Checkpoint
+	// SGD configures the parameter update.
+	SGD SGD
+}
+
+// Program is a compiled training step: a runtime.Program whose op list covers
+// forward, loss gradient, backward and SGD update, plus the training-specific
+// buffer roles.
+type Program struct {
+	*runtime.Program
+
+	// Batch and Classes describe the label vector and probability matrix.
+	Batch   int
+	Classes int
+	// LR is the learning rate every OpSGD op applies.
+	LR float32
+	// Labels is the float32-coded label buffer the caller stages before each
+	// step (listed in ExtraInputs).
+	Labels runtime.BufferID
+	// Probs is the softmax output buffer; it doubles as the program output so
+	// the arena keeps it readable after the run for the loss value.
+	Probs runtime.BufferID
+
+	// Checkpointed reports whether the program drops-and-recomputes cheap
+	// activations; RecomputeOps counts the OpRecompute ops emitted.
+	Checkpointed bool
+	RecomputeOps int
+	// StorePeakBytes is the planned peak of the store-all variant, kept for
+	// reporting when CheckpointAuto selected the recompute plan (equal to
+	// Mem.PeakBytes() otherwise).
+	StorePeakBytes int64
+}
+
+// CompileTraining lowers a network into a single training-step program in the
+// fixed NCHW layout: every layer's forward op, the fused softmax +
+// cross-entropy loss gradient, per-layer backward-data and parameter-gradient
+// ops, and an SGD update per trainable layer, ordered so each layer's input
+// gradient is computed before its own update touches the weights.  The
+// network must end in a softmax classifier; every other layer must implement
+// layers.BackwardLayer.
+func CompileTraining(net *network.Network, opts Options) (*Program, error) {
+	if net == nil || len(net.Layers) < 2 {
+		return nil, fmt.Errorf("train: network must have at least a feature layer and a classifier")
+	}
+	last := net.Layers[len(net.Layers)-1]
+	sm, ok := last.(*layers.Softmax)
+	if !ok {
+		return nil, fmt.Errorf("train: network must end in a softmax classifier, got %q", last.Name())
+	}
+	for _, l := range net.Layers[:len(net.Layers)-1] {
+		if _, ok := l.(layers.BackwardLayer); !ok {
+			return nil, fmt.Errorf("train: layer %q has no backward pass", l.Name())
+		}
+	}
+	lr := opts.SGD.LR
+	if lr == 0 {
+		lr = DefaultLR
+	}
+
+	switch opts.Checkpoint {
+	case CheckpointOff, CheckpointOn:
+		p, err := lowerTraining(net, sm, lr, opts.Checkpoint == CheckpointOn)
+		if err != nil {
+			return nil, err
+		}
+		p.StorePeakBytes = p.Mem.PeakBytes()
+		if p.Checkpointed {
+			store, err := lowerTraining(net, sm, lr, false)
+			if err != nil {
+				return nil, err
+			}
+			p.StorePeakBytes = store.Mem.PeakBytes()
+		}
+		return p, nil
+	case CheckpointAuto:
+		store, err := lowerTraining(net, sm, lr, false)
+		if err != nil {
+			return nil, err
+		}
+		ckpt, err := lowerTraining(net, sm, lr, true)
+		if err != nil {
+			return nil, err
+		}
+		ckpt.StorePeakBytes = store.Mem.PeakBytes()
+		if ckpt.RecomputeOps > 0 && ckpt.Mem.PeakBytes() < store.Mem.PeakBytes() {
+			return ckpt, nil
+		}
+		store.StorePeakBytes = store.Mem.PeakBytes()
+		return store, nil
+	default:
+		return nil, fmt.Errorf("train: unknown checkpoint policy %v", opts.Checkpoint)
+	}
+}
+
+// lowerTraining builds the joint op list.  All buffers use the NCHW layout:
+// flattening boundaries become zero-copy alias reshapes (an NCHW backing
+// slice is its own canonical flattening), both in the forward section and for
+// the gradients flowing back through them.
+func lowerTraining(net *network.Network, sm *layers.Softmax, lr float32, drop bool) (*Program, error) {
+	const layout = tensor.NCHW
+	feat := net.Layers[:len(net.Layers)-1] // layers below the classifier
+	p := &runtime.Program{
+		Net:         net,
+		PlannerName: "train-nchw",
+	}
+	if drop {
+		p.PlannerName = "train-nchw-ckpt"
+	}
+	tp := &Program{
+		Program: p,
+		Batch:   net.InputShape().N,
+		Classes: sm.Cfg.Classes,
+		LR:      lr,
+	}
+
+	newBuf := func(shape tensor.Shape, alias runtime.BufferID) runtime.BufferID {
+		id := runtime.BufferID(len(p.Buffers))
+		p.Buffers = append(p.Buffers, runtime.Buffer{ID: id, Shape: shape, Layout: layout, AliasOf: alias})
+		return id
+	}
+	newScratch := func(elems int) runtime.BufferID {
+		id := newBuf(tensor.Shape{N: 1, C: 1, H: 1, W: elems}, runtime.NoBuffer)
+		p.Buffers[id].Scratch = true
+		return id
+	}
+	root := func(id runtime.BufferID) runtime.BufferID {
+		for p.Buffers[id].AliasOf != runtime.NoBuffer {
+			id = p.Buffers[id].AliasOf
+		}
+		return id
+	}
+	// reshapeTo returns a view of src with the given shape, emitting an alias
+	// reshape op (or a copy when the layout cannot reinterpret, which NCHW
+	// flattening never hits).
+	reshapeTo := func(src runtime.BufferID, shape tensor.Shape, tag string) (runtime.BufferID, error) {
+		have := p.Buffers[src].Shape
+		if have == shape {
+			return src, nil
+		}
+		if have.Elems() != shape.Elems() {
+			return runtime.NoBuffer, fmt.Errorf("train: cannot reshape %v into %v at %s", have, shape, tag)
+		}
+		alias := runtime.NoBuffer
+		if tensor.CanReinterpret(have, shape, layout) {
+			alias = root(src)
+		}
+		out := newBuf(shape, alias)
+		p.Ops = append(p.Ops, runtime.Op{
+			Kind: runtime.OpReshape,
+			Name: fmt.Sprintf("%v->%v %s", have, shape, tag),
+			In:   src, Out: out, Scratch: runtime.NoBuffer, Aux: runtime.NoBuffer,
+		})
+		return out, nil
+	}
+	forwardScratch := func(l layers.Layer) runtime.BufferID {
+		if wf, ok := l.(layers.WorkspaceForwarder); ok {
+			if elems := wf.WorkspaceElems(); elems > 0 {
+				return newScratch(elems)
+			}
+		}
+		return runtime.NoBuffer
+	}
+
+	// Forward section.
+	cur := newBuf(net.InputShape(), runtime.NoBuffer)
+	p.Input = cur
+	fwdIn := make([]runtime.BufferID, len(net.Layers))  // view feeding each layer
+	fwdOut := make([]runtime.BufferID, len(net.Layers)) // each layer's output
+	dropped := make([]bool, len(net.Layers))
+	for i, l := range net.Layers {
+		var err error
+		cur, err = reshapeTo(cur, l.InputShape(), "before "+l.Name())
+		if err != nil {
+			return nil, err
+		}
+		fwdIn[i] = cur
+		out := newBuf(l.OutputShape(), runtime.NoBuffer)
+		p.Ops = append(p.Ops, runtime.Op{
+			Kind: runtime.OpLayer, Name: l.Name(), Layer: l,
+			In: cur, Out: out, Scratch: forwardScratch(l), Aux: runtime.NoBuffer,
+		})
+		fwdOut[i] = out
+		cur = out
+		if drop && i < len(feat) {
+			switch l.(type) {
+			case *layers.ReLU, *layers.Pool:
+				// Cheap to recompute: the planner drops the stored activation
+				// — its live range ends at its forward consumer — and the
+				// backward section rematerialises it on demand.
+				dropped[i] = true
+			}
+		}
+	}
+	tp.Probs = cur
+	p.Output = cur
+
+	// Loss gradient: dLogits = (probs - onehot(labels)) / batch, fused with
+	// the softmax backward so the classifier needs no backward op of its own.
+	labels := newBuf(tensor.Shape{N: tp.Batch, C: 1, H: 1, W: 1}, runtime.NoBuffer)
+	p.ExtraInputs = append(p.ExtraInputs, labels)
+	tp.Labels = labels
+	dLogits := newBuf(sm.InputShape(), runtime.NoBuffer)
+	p.Ops = append(p.Ops, runtime.Op{
+		Kind: runtime.OpLossGrad, Name: "loss " + sm.Name(), Layer: sm,
+		In: tp.Probs, Out: dLogits, Aux: labels, Scratch: runtime.NoBuffer,
+	})
+
+	// materialize returns a buffer holding layer i's forward output valid at
+	// the current backward position, emitting just-in-time OpRecompute ops
+	// for dropped activations (each at most once, cached across consumers).
+	recomputed := make(map[int]runtime.BufferID)
+	reviews := make(map[int]runtime.BufferID) // re-derived reshape views per layer
+	var materialize func(i int) (runtime.BufferID, error)
+	materializeInput := func(i int) (runtime.BufferID, error) {
+		if i == 0 {
+			return p.Input, nil
+		}
+		src, err := materialize(i - 1)
+		if err != nil {
+			return runtime.NoBuffer, err
+		}
+		if src == fwdOut[i-1] {
+			return fwdIn[i], nil
+		}
+		// The feeding activation was recomputed into a fresh buffer: re-derive
+		// the reshape view against it.
+		if v, ok := reviews[i]; ok {
+			return v, nil
+		}
+		v, err := reshapeTo(src, net.Layers[i].InputShape(), "recomputed before "+net.Layers[i].Name())
+		if err != nil {
+			return runtime.NoBuffer, err
+		}
+		reviews[i] = v
+		return v, nil
+	}
+	materialize = func(i int) (runtime.BufferID, error) {
+		if i < 0 {
+			return p.Input, nil
+		}
+		if !dropped[i] {
+			return fwdOut[i], nil
+		}
+		if b, ok := recomputed[i]; ok {
+			return b, nil
+		}
+		l := net.Layers[i]
+		in, err := materializeInput(i)
+		if err != nil {
+			return runtime.NoBuffer, err
+		}
+		out := newBuf(l.OutputShape(), runtime.NoBuffer)
+		p.Ops = append(p.Ops, runtime.Op{
+			Kind: runtime.OpRecompute, Name: "recompute " + l.Name(), Layer: l,
+			In: in, Out: out, Scratch: forwardScratch(l), Aux: runtime.NoBuffer,
+		})
+		tp.RecomputeOps++
+		recomputed[i] = out
+		return out, nil
+	}
+
+	// Backward section, last feature layer down to the first.  Per trainable
+	// layer the order is backward-data, then grad-filter, then SGD: the input
+	// gradient must see the pre-update weights, and updating immediately
+	// after lets the parameter-gradient buffer die two ops after its
+	// definition instead of surviving to the end of the program.  The
+	// gradient chain stops at the lowest trainable layer — below it no op
+	// would ever read the propagated gradient.
+	lowest := -1
+	for i := len(feat) - 1; i >= 0; i-- {
+		if _, ok := feat[i].(layers.TrainableLayer); ok {
+			lowest = i
+		}
+	}
+	if lowest == -1 {
+		return nil, fmt.Errorf("train: network %s has no trainable layer", net.Name)
+	}
+	grad := dLogits // gradient w.r.t. the current layer's output
+	for i := len(feat) - 1; i >= lowest; i-- {
+		l := feat[i]
+		var err error
+		grad, err = reshapeTo(grad, l.OutputShape(), "grad into "+l.Name())
+		if err != nil {
+			return nil, err
+		}
+		bl := l.(layers.BackwardLayer) // validated by CompileTraining
+		tl, trainable := l.(layers.TrainableLayer)
+
+		var dIn runtime.BufferID = runtime.NoBuffer
+		if i > lowest {
+			// Conv and fully-connected input gradients depend only on their
+			// parameters; data-dependent layers consume their forward input.
+			var bwdAux runtime.BufferID = runtime.NoBuffer
+			if !trainable {
+				if bwdAux, err = materializeInput(i); err != nil {
+					return nil, err
+				}
+			}
+			var bwdScratch runtime.BufferID = runtime.NoBuffer
+			if elems := bl.BackwardWorkspaceElems(); elems > 0 {
+				bwdScratch = newScratch(elems)
+			}
+			dIn = newBuf(l.InputShape(), runtime.NoBuffer)
+			p.Ops = append(p.Ops, runtime.Op{
+				Kind: runtime.OpBackward, Name: "bwd " + l.Name(), Layer: l,
+				In: grad, Out: dIn, Aux: bwdAux, Scratch: bwdScratch,
+			})
+		}
+		if trainable {
+			in, err := materializeInput(i)
+			if err != nil {
+				return nil, err
+			}
+			dW := newBuf(tl.GradShape(), runtime.NoBuffer)
+			p.Ops = append(p.Ops, runtime.Op{
+				Kind: runtime.OpGradFilter, Name: "grad " + l.Name(), Layer: l,
+				In: grad, Out: dW, Aux: in, Scratch: runtime.NoBuffer,
+			})
+			p.Ops = append(p.Ops, runtime.Op{
+				Kind: runtime.OpSGD, Name: "sgd " + l.Name(), Layer: l,
+				In: dW, Out: dW, Aux: runtime.NoBuffer, Scratch: runtime.NoBuffer, LR: lr,
+			})
+		}
+		grad = dIn
+	}
+
+	mem, err := runtime.PlanMemory(p)
+	if err != nil {
+		return nil, fmt.Errorf("train: planning %s: %w", p.PlannerName, err)
+	}
+	p.Mem = mem
+	tp.Checkpointed = tp.RecomputeOps > 0
+	return tp, nil
+}

@@ -1,0 +1,168 @@
+package train
+
+import (
+	"fmt"
+
+	"memcnn/internal/kernels"
+	"memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+)
+
+// Executor runs a compiled training step over pre-bound buffers on one
+// device.  The planned binding packs every buffer into the program's arena at
+// its planned offset (zero steady-state allocation, the paper's memory
+// efficiency); the naive binding gives every root buffer its own storage —
+// the keep-everything baseline the planned footprint is measured against,
+// bit-identical in results because both run the same op list through the same
+// device.
+//
+// An Executor is single-goroutine: a training step mutates the layer
+// parameters, so concurrent steps over one network make no sense.
+type Executor struct {
+	prog    *Program
+	dev     runtime.Device
+	bufs    []*tensor.Tensor
+	planned bool
+}
+
+// NewExecutor binds the program to one planned arena on the CPU device.
+func NewExecutor(p *Program) (*Executor, error) {
+	return NewExecutorOn(p, runtime.CPUDevice{})
+}
+
+// NewExecutorOn binds the program to one planned arena on the given device.
+func NewExecutorOn(p *Program, dev runtime.Device) (*Executor, error) {
+	bufs, err := bind(p, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{prog: p, dev: dev, bufs: bufs, planned: true}, nil
+}
+
+// NewNaiveExecutor binds every root buffer to its own storage — the unplanned
+// reference executor.  Its allocated bytes equal the program's NaiveBytes.
+func NewNaiveExecutor(p *Program, dev runtime.Device) (*Executor, error) {
+	bufs, err := bind(p, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{prog: p, dev: dev, bufs: bufs, planned: false}, nil
+}
+
+// Program returns the compiled training program.
+func (e *Executor) Program() *Program { return e.prog }
+
+// Planned reports whether the executor runs over the planned arena (false:
+// naive per-buffer storage).
+func (e *Executor) Planned() bool { return e.planned }
+
+// AllocatedBytes is the activation/gradient storage the executor holds: the
+// arena for a planned binding, the sum of root buffers for a naive one.
+func (e *Executor) AllocatedBytes() int64 {
+	if e.planned {
+		return e.prog.Mem.PeakBytes()
+	}
+	return e.prog.NaiveBytes()
+}
+
+// bind builds the per-buffer tensor headers: planned over one arena at the
+// memory plan's offsets, naive over per-root allocations.  Alias buffers view
+// their root's storage either way.
+func bind(p *Program, planned bool) ([]*tensor.Tensor, error) {
+	bufs := make([]*tensor.Tensor, len(p.Buffers))
+	var arena []float32
+	if planned {
+		arena = make([]float32, p.Mem.ArenaElems)
+	}
+	root := func(id runtime.BufferID) runtime.BufferID {
+		for p.Buffers[id].AliasOf != runtime.NoBuffer {
+			id = p.Buffers[id].AliasOf
+		}
+		return id
+	}
+	for i, b := range p.Buffers {
+		if b.AliasOf != runtime.NoBuffer {
+			view, ok := bufs[root(runtime.BufferID(i))].Reshape(b.Shape)
+			if !ok {
+				return nil, fmt.Errorf("train: buffer %d cannot reinterpret its root as %v", i, b.Shape)
+			}
+			bufs[i] = view
+			continue
+		}
+		var backing []float32
+		if planned {
+			off := p.Mem.Offsets[i]
+			backing = arena[off : off+b.Elems()]
+		} else {
+			backing = make([]float32, b.Elems())
+		}
+		t, err := tensor.NewFrom(b.Shape, b.Layout, backing)
+		if err != nil {
+			return nil, fmt.Errorf("train: binding buffer %d: %w", i, err)
+		}
+		bufs[i] = t
+	}
+	return bufs, nil
+}
+
+// StepStats reports one training step.
+type StepStats struct {
+	// Loss is the mean softmax cross-entropy of the batch, computed from the
+	// forward probabilities before the update.
+	Loss float64
+	// ModeledUS is the device's modeled step time (zero on the CPU device).
+	ModeledUS float64
+}
+
+// Step runs one training step: stage the batch and labels, execute the full
+// forward-loss-backward-update op list, and read the loss off the
+// still-resident probability buffer.  The layer parameters are updated in
+// place.
+func (e *Executor) Step(images *tensor.Tensor, labels []int) (StepStats, error) {
+	p := e.prog
+	if images.Shape != p.InputShape() {
+		return StepStats{}, fmt.Errorf("train: %s input shape %v, want %v", p.Net.Name, images.Shape, p.InputShape())
+	}
+	if len(labels) != p.Batch {
+		return StepStats{}, fmt.Errorf("train: %s got %d labels for batch %d", p.Net.Name, len(labels), p.Batch)
+	}
+	lbl := e.bufs[p.Labels].Data
+	for i, v := range labels {
+		if v < 0 || v >= p.Classes {
+			return StepStats{}, fmt.Errorf("train: label %d out of range for %d classes", v, p.Classes)
+		}
+		lbl[i] = float32(v)
+	}
+	if err := tensor.ConvertInto(images, e.bufs[p.Input]); err != nil {
+		return StepStats{}, fmt.Errorf("train: staging input: %w", err)
+	}
+
+	var modeledUS float64
+	for i, op := range p.Ops {
+		if op.Kind == runtime.OpReshape && p.Buffers[op.Out].AliasOf != runtime.NoBuffer {
+			continue // zero-copy view
+		}
+		var scratch []float32
+		if op.Scratch != runtime.NoBuffer {
+			scratch = e.bufs[op.Scratch].Data
+		}
+		var aux *tensor.Tensor
+		if op.Aux != runtime.NoBuffer {
+			aux = e.bufs[op.Aux]
+		}
+		us, err := e.dev.RunOp(p.Program, i, e.bufs[op.In], e.bufs[op.Out], aux, scratch)
+		if err != nil {
+			return StepStats{}, fmt.Errorf("train: op %d (%s): %w", i, op.Name, err)
+		}
+		modeledUS += us
+	}
+
+	// The probability buffer doubles as the program output, so the planner
+	// kept it live past the last op.
+	loss, err := kernels.SoftmaxCrossEntropyLoss(e.bufs[p.Probs].Data, labels,
+		kernels.SoftmaxConfig{N: p.Batch, Classes: p.Classes})
+	if err != nil {
+		return StepStats{}, fmt.Errorf("train: loss: %w", err)
+	}
+	return StepStats{Loss: loss, ModeledUS: modeledUS}, nil
+}

@@ -1,0 +1,315 @@
+package train
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"memcnn/internal/gpusim"
+	"memcnn/internal/layers"
+	"memcnn/internal/network"
+	"memcnn/internal/runtime"
+	"memcnn/internal/tensor"
+	"memcnn/internal/workloads"
+)
+
+// fullRun gates the heavy whole-net executions (AlexNet, ZFNet, VGG training
+// steps) behind the same env switch the golden tests use.
+func fullRun() bool { return os.Getenv("MEMCNN_GOLDEN_FULL") != "" }
+
+func constructors() map[string]func() (*network.Network, error) {
+	return map[string]func() (*network.Network, error){
+		"LeNet":   workloads.LeNet,
+		"Cifar10": workloads.Cifar10,
+		"AlexNet": workloads.AlexNet,
+		"ZFNet":   workloads.ZFNet,
+		"VGG":     workloads.VGG,
+	}
+}
+
+// batch returns a deterministic labelled batch for a compiled program.
+func batch(p *Program, seed uint64) (*tensor.Tensor, []int) {
+	images := tensor.Random(p.InputShape(), tensor.NCHW, seed)
+	labels := make([]int, p.Batch)
+	for i := range labels {
+		labels[i] = int((seed + uint64(i)*2654435761) % uint64(p.Classes))
+	}
+	return images, labels
+}
+
+// weightChecksum walks the network's trainable layers and folds every
+// parameter bit into one sum, so two networks agree iff their weights are
+// bit-identical.
+func weightChecksum(net *network.Network) uint64 {
+	var sum uint64
+	fold := func(vals []float32) {
+		for _, v := range vals {
+			sum = sum*1099511628211 + uint64(math.Float32bits(v))
+		}
+	}
+	for _, l := range net.Layers {
+		switch tl := l.(type) {
+		case *layers.Conv:
+			fold(tl.Filters().Data)
+		case *layers.FullyConnected:
+			fold(tl.Weights())
+		}
+	}
+	return sum
+}
+
+func TestCompileAllWorkloadsPlansValidate(t *testing.T) {
+	for name, ctor := range constructors() {
+		for _, ck := range []Checkpoint{CheckpointOff, CheckpointOn} {
+			net, err := ctor()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			p, err := CompileTraining(net, Options{Checkpoint: ck})
+			if err != nil {
+				t.Fatalf("%s/%v: compile: %v", name, ck, err)
+			}
+			if err := p.Mem.Validate(p.Program); err != nil {
+				t.Errorf("%s/%v: memory plan invalid: %v", name, ck, err)
+			}
+			if ck == CheckpointOn && p.RecomputeOps == 0 {
+				t.Errorf("%s: checkpointing emitted no recompute ops", name)
+			}
+			if p.Mem.PeakBytes() >= p.NaiveBytes() {
+				t.Errorf("%s/%v: planned peak %d not below naive %d", name, ck, p.Mem.PeakBytes(), p.NaiveBytes())
+			}
+		}
+	}
+}
+
+// TestCheckpointLowersPeak is the acceptance criterion: recompute-vs-store
+// checkpointing strictly lowers the planned peak on the big nets.
+func TestCheckpointLowersPeak(t *testing.T) {
+	for _, name := range []string{"AlexNet", "VGG"} {
+		ctor := constructors()[name]
+		net, err := ctor()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		store, err := CompileTraining(net, Options{Checkpoint: CheckpointOff})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ckpt, err := CompileTraining(net, Options{Checkpoint: CheckpointOn})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ckpt.Mem.PeakBytes() >= store.Mem.PeakBytes() {
+			t.Errorf("%s: checkpointed peak %.2f MiB not below store-all %.2f MiB", name,
+				float64(ckpt.Mem.PeakBytes())/(1<<20), float64(store.Mem.PeakBytes())/(1<<20))
+		}
+		auto, err := CompileTraining(net, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !auto.Checkpointed {
+			t.Errorf("%s: auto policy did not select the checkpointed plan", name)
+		}
+		if auto.StorePeakBytes != store.Mem.PeakBytes() {
+			t.Errorf("%s: auto reports store peak %d, store-all plan has %d", name, auto.StorePeakBytes, store.Mem.PeakBytes())
+		}
+	}
+}
+
+// TestPlannedNaiveBitIdentical runs the same training steps through the
+// planned (arena, checkpointing auto) executor and the naive (per-buffer,
+// store-all) executor on two independently built but identically seeded
+// networks, and requires bit-identical losses and final weights.
+func TestPlannedNaiveBitIdentical(t *testing.T) {
+	small := map[string]int{"LeNet": 8, "Cifar10": 8, "AlexNet": 2, "ZFNet": 2, "VGG": 1}
+	heavy := map[string]bool{"AlexNet": true, "ZFNet": true, "VGG": true}
+	for name, ctor := range constructors() {
+		if heavy[name] && !fullRun() {
+			t.Logf("%s: skipped without MEMCNN_GOLDEN_FULL", name)
+			continue
+		}
+		base1, err := ctor()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		base2, err := ctor()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		net1, err := base1.WithBatch(small[name])
+		if err != nil {
+			t.Fatalf("%s: rebatch: %v", name, err)
+		}
+		net2, err := base2.WithBatch(small[name])
+		if err != nil {
+			t.Fatalf("%s: rebatch: %v", name, err)
+		}
+
+		planned, err := CompileTraining(net1, Options{Checkpoint: CheckpointAuto})
+		if err != nil {
+			t.Fatalf("%s: compile planned: %v", name, err)
+		}
+		storeAll, err := CompileTraining(net2, Options{Checkpoint: CheckpointOff})
+		if err != nil {
+			t.Fatalf("%s: compile store-all: %v", name, err)
+		}
+		pe, err := NewExecutor(planned)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ne, err := NewNaiveExecutor(storeAll, runtime.CPUDevice{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		for step := 0; step < 2; step++ {
+			images, lbls := batch(planned, uint64(7+step))
+			ps, err := pe.Step(images, lbls)
+			if err != nil {
+				t.Fatalf("%s: planned step %d: %v", name, step, err)
+			}
+			ns, err := ne.Step(images, lbls)
+			if err != nil {
+				t.Fatalf("%s: naive step %d: %v", name, step, err)
+			}
+			if math.Float64bits(ps.Loss) != math.Float64bits(ns.Loss) {
+				t.Fatalf("%s: step %d loss diverged: planned %v naive %v", name, step, ps.Loss, ns.Loss)
+			}
+		}
+		if c1, c2 := weightChecksum(base1), weightChecksum(base2); c1 != c2 {
+			t.Errorf("%s: weights diverged after training (%#x vs %#x)", name, c1, c2)
+		}
+	}
+}
+
+// scaleForTraining rescales the library's uniform [-1,1) weights by
+// 1/sqrt(fan-in) so the softmax starts unsaturated — the synthetic init is
+// built for memory experiments, not for optimisation.
+func scaleForTraining(net *network.Network) {
+	for _, l := range net.Layers {
+		switch tl := l.(type) {
+		case *layers.Conv:
+			f := tl.Filters()
+			s := float32(1 / math.Sqrt(float64(f.Shape.C*f.Shape.H*f.Shape.W)))
+			for i := range f.Data {
+				f.Data[i] *= s
+			}
+		case *layers.FullyConnected:
+			w := tl.Weights()
+			s := float32(1 / math.Sqrt(float64(tl.InDim)))
+			for i := range w {
+				w[i] *= s
+			}
+		}
+	}
+}
+
+// TestLossDecreases drives several steps on one fixed batch: SGD on a batch
+// it sees every step must reduce the loss.
+func TestLossDecreases(t *testing.T) {
+	base, err := workloads.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := base.WithBatch(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaleForTraining(net)
+	tr, err := NewTrainer(net, Options{SGD: SGD{LR: 0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Executor().Program()
+	images, lbls := batch(p, 42)
+	var first, last float64
+	for step := 0; step < 5; step++ {
+		s, err := tr.Step(Batch{Images: images, Labels: lbls})
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if step == 0 {
+			first = s.Loss
+		}
+		last = s.Loss
+	}
+	if !(last < first) {
+		t.Errorf("loss did not decrease on a fixed batch: first %v last %v", first, last)
+	}
+}
+
+func TestTrainerEpoch(t *testing.T) {
+	base, err := workloads.LeNet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := base.WithBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrainer(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.Executor().Program()
+	var batches []Batch
+	for i := 0; i < 3; i++ {
+		images, lbls := batch(p, uint64(100+i))
+		batches = append(batches, Batch{Images: images, Labels: lbls})
+	}
+	stats, err := tr.Epoch(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("epoch returned %d stats, want 3", len(stats))
+	}
+	for i, s := range stats {
+		if s.Loss <= 0 || math.IsNaN(s.Loss) {
+			t.Errorf("step %d: implausible loss %v", i, s.Loss)
+		}
+	}
+}
+
+// TestSimDeviceModelsTrainingStep prices a planned training step on the
+// modeled GPU: the step must carry a positive modeled latency and the result
+// must stay bit-identical to the CPU device (the sim device computes on the
+// host).
+func TestSimDeviceModelsTrainingStep(t *testing.T) {
+	mkExec := func(dev runtime.Device) *Executor {
+		base, err := workloads.LeNet()
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := base.WithBatch(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := CompileTraining(net, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewExecutorOn(p, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	sim := mkExec(runtime.NewSimDevice("sim0", gpusim.TitanBlack()))
+	cpu := mkExec(runtime.CPUDevice{})
+	images, lbls := batch(sim.Program(), 9)
+	ss, err := sim.Step(images, lbls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := cpu.Step(images, lbls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.ModeledUS <= 0 {
+		t.Errorf("sim device modeled %v us for a training step, want > 0", ss.ModeledUS)
+	}
+	if math.Float64bits(ss.Loss) != math.Float64bits(cs.Loss) {
+		t.Errorf("sim loss %v differs from cpu loss %v", ss.Loss, cs.Loss)
+	}
+}
