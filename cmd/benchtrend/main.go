@@ -37,6 +37,9 @@ type record struct {
 	TrainUS        float64 `json:"train_us"`
 	TrainNaiveUS   float64 `json:"train_naive_us"`
 	TrainPeakBytes int64   `json:"train_peak_bytes"`
+	ServeShed      uint64  `json:"serve_shed"`
+	ServeFailovers uint64  `json:"serve_failovers"`
+	ChaosMismatch  int     `json:"chaos_mismatches"`
 }
 
 func main() {
@@ -100,6 +103,22 @@ func main() {
 			}
 			fmt.Printf("%-10s %-13s vs naive %.3f -> %.3f (%.2fx)  [abs %.0f -> %.0f us]  %s\n",
 				name, m.label, baseRel, curRel, ratio, m.baseV, m.curV, status)
+		}
+		// CI's netbench run is un-faulted, so any shed request, failover or
+		// chaos mismatch in the CURRENT record is a robustness regression —
+		// the serving path dropped work without a fault schedule to blame.
+		for _, c := range []struct {
+			label string
+			n     uint64
+		}{
+			{"serve_shed", cur.ServeShed},
+			{"serve_failovers", cur.ServeFailovers},
+			{"chaos_mismatches", uint64(cur.ChaosMismatch)},
+		} {
+			if c.n > 0 {
+				fmt.Printf("%-10s %-13s %d in un-faulted run  REGRESSION\n", name, c.label, c.n)
+				regressions++
+			}
 		}
 		if base.PeakBytes > 0 && cur.PeakBytes > base.PeakBytes {
 			fmt.Printf("%-10s %-13s %10d -> %10d B  note: memory plan grew\n",

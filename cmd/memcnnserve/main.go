@@ -21,11 +21,22 @@
 // -cache N puts a checksum-keyed N-entry LRU result cache with single-flight
 // in front of the batching queue, so repeated inputs skip execution entirely.
 //
+// -slo D gives every request a latency budget: it runs under a deadline of D
+// and admission control sheds requests the queue cannot serve within it
+// (runtime.ErrShed) instead of letting them time out.  -chaos S wraps every
+// replica device in a deterministic seeded fault schedule (transient errors
+// and stalls) and permanently kills one replica partway through — a live
+// demonstration of retry, failover and graceful degradation: the demo
+// completes with bit-identical results on the surviving replicas and reports
+// the fault counters.  /healthz reports the fleet's per-replica health and
+// turns 503 once no replica is healthy.
+//
 // Usage:
 //
 //	memcnnserve -network LeNet -addr :8080
 //	memcnnserve -network LeNet -select -devices 2 -demo 256
 //	memcnnserve -network LeNet -replicas 4 -replica-devices titanblack,titanx -cache 256 -demo 512
+//	memcnnserve -network TinyNet -replicas 4 -chaos 42 -demo 512   # fault-tolerance demo
 //	memcnnserve -network TinyNet -demo 256      # self-driving load test
 //
 // Endpoints:
@@ -70,9 +81,14 @@ func main() {
 		replicas    = flag.Int("replicas", 1, "replicate the program across N devices, splitting each batch by modeled throughput (1 = no data parallelism)")
 		replicaDevs = flag.String("replica-devices", "", "comma-separated replica hardware (titanblack, titanx or cpu), cycled across -replicas; default titanblack")
 		cacheSize   = flag.Int("cache", 0, "memoise per-image results keyed by input checksum in an N-entry LRU (0 = no cache)")
+		slo         = flag.Duration("slo", 0, "per-request latency budget: requests run under a deadline and admission control sheds load the queue cannot serve in time (0 = no deadlines)")
+		chaosSeed   = flag.Uint64("chaos", 0, "inject a seeded fault schedule into every replica device (transient errors + stalls) and permanently kill one replica partway; requires -replicas > 1 (0 = no chaos)")
 		demo        = flag.Int("demo", 0, "instead of listening, fire N synthetic concurrent requests and exit")
 	)
 	flag.Parse()
+	if *chaosSeed != 0 && *replicas <= 1 {
+		fail(fmt.Errorf("memcnnserve: -chaos needs -replicas > 1 (failover needs somewhere to fail over to)"))
+	}
 
 	net, err := buildNetwork(*networkName)
 	if err != nil {
@@ -102,6 +118,10 @@ func main() {
 		fleet, err := replica.ParseDevices(*replicaDevs, *replicas, *devices)
 		if err != nil {
 			fail(err)
+		}
+		if *chaosSeed != 0 {
+			fmt.Printf("chaos: seed %d, transient+stall faults on every replica device, replica 1 dies permanently mid-run\n", *chaosSeed)
+			injectChaos(fleet, *chaosSeed, int64(20*len(prog.Ops)))
 		}
 		group, err = replica.NewGroup(prog, *replicas, replica.Config{Devices: fleet})
 		if err != nil {
@@ -147,6 +167,7 @@ func main() {
 		MaxDelay:     *maxDelay,
 		Workers:      *workers,
 		CacheEntries: *cacheSize,
+		SLO:          *slo,
 	})
 	if err != nil {
 		fail(err)
@@ -185,15 +206,28 @@ func main() {
 			fmt.Printf("cache: %d hits, %d misses, %d evictions (%d of %d entries)\n",
 				cs.Hits, cs.Misses, cs.Evictions, cs.Size, cs.Capacity)
 		}
+		st := srv.Stats()
+		if fs := st.Faults; fs != nil {
+			fmt.Printf("faults: %d retries, %d failovers, %d readmissions, %d contained panics, %d replica(s) unhealthy\n",
+				fs.Retries, fs.Failovers, fs.Readmissions, fs.Panics, fs.UnhealthyReplicas)
+			if group != nil {
+				for i, h := range group.Health() {
+					if h != memruntime.Healthy {
+						fmt.Printf("  replica %d: %s\n", i, h)
+					}
+				}
+			}
+		}
+		if *slo > 0 {
+			fmt.Printf("slo %v: %d shed by admission control, %d expired in queue\n", *slo, st.Shed, st.Expired)
+		}
 		return
 	}
 
 	http.HandleFunc("/infer", inferHandler(srv, prog))
 	http.HandleFunc("/stats", statsHandler(srv))
 	http.HandleFunc("/plan", planHandler(prog))
-	http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	http.HandleFunc("/healthz", healthzHandler(group))
 	fmt.Printf("listening on %s (batch<=%d, delay %v, %d workers)\n",
 		*addr, srv.Config().MaxBatch, srv.Config().MaxDelay, srv.Config().Workers)
 	if err := http.ListenAndServe(*addr, nil); err != nil {
@@ -334,6 +368,61 @@ func inferHandler(srv *memruntime.BatchServer, prog *memruntime.Program) http.Ha
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(resp)
+	}
+}
+
+// injectChaos wraps every replica device in a seeded FaultDevice with a mild
+// transient/stall schedule, and arms replica 1's first device to die
+// permanently after killOps ops — the demo then shows retries absorbing the
+// transients and failover re-splitting the batch over the survivors.
+func injectChaos(fleet [][]memruntime.Device, seed uint64, killOps int64) {
+	for r, devs := range fleet {
+		for s, d := range devs {
+			cfg := memruntime.FaultConfig{
+				Seed:          seed + uint64(r*len(devs)+s),
+				TransientRate: 0.005,
+				StallRate:     0.002,
+				Stall:         500 * time.Microsecond,
+			}
+			if r == 1 && s == 0 {
+				cfg.KillAfterOps = killOps
+			}
+			fleet[r][s] = memruntime.WrapFault(d, cfg)
+		}
+	}
+}
+
+// healthzHandler reports liveness.  For a replicated engine it reports the
+// fleet's health state machine: 200 with per-replica states while at least
+// one replica is in rotation, 503 once every replica is unhealthy (the group
+// can no longer serve).
+func healthzHandler(group *replica.Group) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		if group == nil {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		type replicaHealth struct {
+			Replica int    `json:"replica"`
+			Health  string `json:"health"`
+		}
+		healths := group.Health()
+		body := struct {
+			Status   string          `json:"status"`
+			Healthy  int             `json:"healthy"`
+			Replicas []replicaHealth `json:"replicas"`
+		}{Healthy: group.HealthyReplicas()}
+		for i, h := range healths {
+			body.Replicas = append(body.Replicas, replicaHealth{Replica: i, Health: h.String()})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if body.Healthy == 0 {
+			body.Status = "unavailable"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		} else {
+			body.Status = "ok"
+		}
+		_ = json.NewEncoder(w).Encode(body)
 	}
 }
 

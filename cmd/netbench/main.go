@@ -75,6 +75,7 @@ func main() {
 		devices     = flag.Int("devices", 1, "with -runtime: shard each program across N simulated devices and report the per-stage breakdown")
 		replicas    = flag.Int("replicas", 1, "with -runtime: replicate each program across N devices and report the throughput-weighted batch split")
 		replicaDevs = flag.String("replica-devices", "", "with -replicas: comma-separated replica hardware (titanblack, titanx or cpu), cycled; default titanblack")
+		chaosSeed   = flag.Uint64("chaos", 0, "with -replicas and -exec: soak the replica group under a seeded fault schedule (one replica dies permanently) and record the failover counters (0 = no chaos)")
 		trainMode   = flag.Bool("train", false, "compile each network for training (forward+loss+backward+SGD) and report the planned footprint with and without recompute checkpointing; with -exec also run sanity training steps on the cheap networks (implies -runtime)")
 		jsonPath    = flag.String("json", "", "with -runtime: write per-network latency/alloc stats to this file as JSON")
 	)
@@ -98,7 +99,7 @@ func main() {
 
 	if *runtimeView {
 		opts := memruntime.Options{ConvAlgorithms: *selectAlgs, Probe: *probe}
-		rc := replicaConfig{count: *replicas, spec: *replicaDevs}
+		rc := replicaConfig{count: *replicas, spec: *replicaDevs, chaosSeed: *chaosSeed}
 		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, rc, *trainMode, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -232,6 +233,27 @@ type netReport struct {
 	CacheMisses            uint64        `json:"cache_misses,omitempty"`
 	CacheEvictions         uint64        `json:"cache_evictions,omitempty"`
 
+	// Robustness counters from the serving burst.  In the un-faulted CI
+	// baseline every one of these must be zero (omitted); benchtrend fails
+	// the gate when a current run reports sheds or failovers without fault
+	// injection.
+	ServeShed      uint64 `json:"serve_shed,omitempty"`
+	ServeExpired   uint64 `json:"serve_expired,omitempty"`
+	ServeRetries   uint64 `json:"serve_retries,omitempty"`
+	ServeFailovers uint64 `json:"serve_failovers,omitempty"`
+
+	// Chaos soak record, present with -chaos: 200 batches served while every
+	// replica device runs a seeded fault schedule and one replica dies
+	// permanently.  Mismatches counts batches whose output was not
+	// bit-identical to the single-device golden — it must be zero.
+	ChaosSeed         uint64 `json:"chaos_seed,omitempty"`
+	ChaosBatches      int    `json:"chaos_batches,omitempty"`
+	ChaosMismatches   int    `json:"chaos_mismatches,omitempty"`
+	ChaosRetries      uint64 `json:"chaos_retries,omitempty"`
+	ChaosFailovers    uint64 `json:"chaos_failovers,omitempty"`
+	ChaosReadmissions uint64 `json:"chaos_readmissions,omitempty"`
+	ChaosUnhealthy    int    `json:"chaos_unhealthy,omitempty"`
+
 	// Training stats, present with -train: the op count, planned arena peak
 	// (under the auto recompute-vs-store policy — the footprint the trend gate
 	// guards), the store-all planned peak, the keep-everything naive bytes,
@@ -265,10 +287,11 @@ type netReport struct {
 // sub-second networks (LeNet, Cifar10); selecting a single network with
 // -network overrides that guard.  A non-empty jsonPath collects the reports
 // into a JSON file.
-// replicaConfig carries the -replicas/-replica-devices flags.
+// replicaConfig carries the -replicas/-replica-devices/-chaos flags.
 type replicaConfig struct {
-	count int
-	spec  string
+	count     int
+	spec      string
+	chaosSeed uint64
 }
 
 func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, rc replicaConfig, trainMode bool, jsonPath string) error {
@@ -339,8 +362,14 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 			}
 		}
 		if rc.count > 1 {
-			if err := replicaReport(prog, rc, exec && (cheap[name] || len(targets) == 1), &rep); err != nil {
+			execHere := exec && (cheap[name] || len(targets) == 1)
+			if err := replicaReport(prog, rc, execHere, &rep); err != nil {
 				return fmt.Errorf("netbench: replicating %s: %w", name, err)
+			}
+			if rc.chaosSeed != 0 && execHere {
+				if err := chaosSoak(prog, rc, &rep); err != nil {
+					return fmt.Errorf("netbench: chaos soak on %s: %w", name, err)
+				}
 			}
 		}
 		if trainMode {
@@ -457,7 +486,7 @@ func replicaReport(prog *memruntime.Program, rc replicaConfig, exec bool, rep *n
 
 	rep.Replicas = g.Replicas()
 	rep.ReplicatedModeledUS = g.ModeledBatchUS()
-	if sd, ok := fleet[0][0].(*memruntime.SimDevice); ok {
+	if sd := memruntime.SimOf(fleet[0][0]); sd != nil {
 		rep.SingleModeledUS = sd.ModelProgramUS(prog)
 		if rep.ReplicatedModeledUS > 0 {
 			rep.ModeledReplicaSpeedup = rep.SingleModeledUS / rep.ReplicatedModeledUS
@@ -553,10 +582,76 @@ func replicaCacheBurst(prog *memruntime.Program, g *replica.Group, rep *netRepor
 		}(i)
 	}
 	wg.Wait()
-	if cs := srv.Stats().Cache; cs != nil {
+	st := srv.Stats()
+	if cs := st.Cache; cs != nil {
 		rep.CacheHits, rep.CacheMisses, rep.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
 		fmt.Printf("           cache burst: %d requests -> %d hits, %d misses, %d evictions\n",
 			requests, cs.Hits, cs.Misses, cs.Evictions)
+	}
+	rep.ServeShed, rep.ServeExpired = st.Shed, st.Expired
+	if fs := st.Faults; fs != nil {
+		rep.ServeRetries, rep.ServeFailovers = fs.Retries, fs.Failovers
+	}
+	return nil
+}
+
+// chaosSoak serves 200 full batches through a replica group whose devices all
+// run a seeded deterministic fault schedule — and whose replica 1 dies
+// permanently partway through — recording the retry/failover counters and
+// checking every batch stays bit-identical to the single-device golden run.
+func chaosSoak(prog *memruntime.Program, rc replicaConfig, rep *netReport) error {
+	fleet, err := replica.ParseDevices(rc.spec, rc.count, 1)
+	if err != nil {
+		return err
+	}
+	for r := range fleet {
+		for s, d := range fleet[r] {
+			cfg := memruntime.FaultConfig{
+				Seed:          rc.chaosSeed + uint64(r*len(fleet[r])+s),
+				TransientRate: 0.002,
+			}
+			if r == 1 && s == 0 {
+				cfg.KillAfterOps = int64(20 * len(prog.Ops))
+			}
+			fleet[r][s] = memruntime.WrapFault(d, cfg)
+		}
+	}
+	g, err := replica.NewGroup(prog, rc.count, replica.Config{
+		Devices:      fleet,
+		RetryBackoff: memruntime.Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+
+	in := tensor.Random(prog.InputShape(), tensor.NCHW, rc.chaosSeed)
+	golden := tensor.New(prog.OutputShape(), tensor.NCHW)
+	if err := memruntime.NewExecutor(prog).RunInto(in, golden); err != nil {
+		return err
+	}
+	out := tensor.New(prog.OutputShape(), tensor.NCHW)
+	const soakBatches = 200
+	mismatches := 0
+	for i := 0; i < soakBatches; i++ {
+		if err := g.RunInto(in, out); err != nil {
+			return fmt.Errorf("chaos soak batch %d: %w", i, err)
+		}
+		for j := range golden.Data {
+			if out.Data[j] != golden.Data[j] {
+				mismatches++
+				break
+			}
+		}
+	}
+	fs := g.FaultStats()
+	rep.ChaosSeed, rep.ChaosBatches, rep.ChaosMismatches = rc.chaosSeed, soakBatches, mismatches
+	rep.ChaosRetries, rep.ChaosFailovers = fs.Retries, fs.Failovers
+	rep.ChaosReadmissions, rep.ChaosUnhealthy = fs.Readmissions, fs.UnhealthyReplicas
+	fmt.Printf("           chaos soak (seed %d): %d batches, %d mismatches, %d retries, %d failovers, %d unhealthy\n",
+		rc.chaosSeed, soakBatches, mismatches, fs.Retries, fs.Failovers, fs.UnhealthyReplicas)
+	if mismatches > 0 {
+		return fmt.Errorf("chaos soak: %d of %d batches differed from the single-device golden", mismatches, soakBatches)
 	}
 	return nil
 }

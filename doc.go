@@ -49,6 +49,25 @@
 // per-replica batch shares with modeled and measured speedup (-replicas) and
 // (with -exec/-json) measured throughput plus cache hit/miss counters.
 //
+// The serving stack is fault-tolerant end to end.  runtime.FaultDevice wraps
+// any Device with a deterministic seeded failure schedule — transient op
+// errors, latency stalls, injected panics, permanent device death — so every
+// failure mode is reproducible in CI.  replica.Group runs a health state
+// machine over its replicas: transient failures retry with capped exponential
+// backoff, repeated failures mark a replica unhealthy and fail the batch over
+// to the survivors (batch shares are re-derived from the healthy units'
+// original throughput weights, so degraded results stay bit-identical to the
+// full-fleet run), and a background probe re-admits recovered replicas.
+// Requests carry context.Context through the whole Runner path; the batching
+// server enforces a per-request SLO deadline and sheds doomed work at
+// admission (distinct ErrShed) when the queue already exceeds the SLO
+// horizon, panics anywhere in an engine are contained into errors, and
+// retry/failover/shed/unhealthy counters surface in ServerStats,
+// `memcnnserve`'s /healthz endpoint and demo summary (`-slo`, and `-chaos`
+// to inject a seeded fault schedule), and `netbench -chaos`'s seeded soak —
+// which CI runs alongside the race-detector chaos tests, with benchtrend
+// asserting the un-faulted baseline run sheds nothing.
+//
 // Training runs under the same memory discipline (runtime/train): the
 // compiler lowers a softmax-terminated network into one op list covering the
 // forward pass, softmax cross-entropy loss, backward data/filter passes and

@@ -80,6 +80,49 @@
 // the batching queue, so repeated inputs skip execution entirely.  That is
 // how the planned engine serves traffic — see cmd/memcnnserve.
 //
+// # Failure model
+//
+// The serving path assumes fail-stop devices with three observable failure
+// modes, all injectable deterministically by FaultDevice (fault.go) for
+// reproducible chaos tests: transient op errors (ErrFaultInjected — the op
+// did not run, a retry may succeed), latency stalls (the op runs late — the
+// failure mode deadlines exist for), and permanent death (ErrDeviceDead —
+// every later op fails, retries against the same device are pointless).  A
+// fourth mode, panics inside a kernel or the executor, is contained by
+// recover into a *PanicError (health.go) so a poisoned op crashes a request,
+// never the process.
+//
+// # Health state machine
+//
+// replica.Group tracks each replica as Healthy or Unhealthy.  A failed
+// sub-batch retries on its own replica up to Config.MaxRetries times with
+// capped exponential backoff (Backoff); if the replica still fails — or its
+// error is ErrDeviceDead — it is marked Unhealthy, the failover counter
+// increments exactly once (CAS), and the whole batch re-runs over the
+// survivors: batch shares are re-derived from the healthy units' original
+// throughput weights, so the degraded group's outputs stay bit-identical to
+// the full-fleet run (every kernel fixes its accumulation order and rows are
+// image-independent).  A background probe (Config.ProbeInterval) runs a
+// one-image batch against each Unhealthy replica and re-admits it on
+// success, re-deriving shares again.  Cancellation is not failure: a
+// sub-batch that dies of its own request's context.Context never marks a
+// replica Unhealthy.
+//
+// # Deadlines and shedding
+//
+// context.Context flows through the whole Runner path (RunIntoCtx on
+// Executor, PipelineExecutor and replica.Group).  The batching server stamps
+// each request with a ServerConfig.SLO deadline, drops already-expired
+// requests when coalescing a batch (the Expired counter; the batch runs
+// under the latest surviving deadline), and sheds at admission with ErrShed
+// — before the request ever queues — when the estimated queue wait
+// (EWMA batch time x queued batches / workers) already exceeds the SLO, so
+// an overloaded server fails fast instead of queueing doomed work.  Shed or
+// expired requests never enter the result cache; only successful batches
+// feed the EWMA.  Counters for all of this (Shed, Expired, and the group's
+// retries/failovers/readmissions/contained panics via ServerStats.Faults)
+// surface in cmd/memcnnserve's /healthz endpoint and `netbench -chaos`.
+//
 // The train sub-package extends the same discipline to training.
 // CompileTraining appends loss and backward ops to the lowered forward
 // program — OpLossGrad (fused softmax cross-entropy gradient), OpBackward

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"memcnn/internal/kernels"
@@ -59,29 +60,61 @@ func (e *Executor) RunInto(in, dst *tensor.Tensor) error {
 	return err
 }
 
+// RunIntoCtx implements the context-aware Runner path: cancellation is
+// checked between ops, so a cancelled or deadline-expired request abandons
+// the remaining ops instead of running the program to completion.  dst is
+// never partially delivered: on any error (including ctx.Err()) its contents
+// are unchanged.
+func (e *Executor) RunIntoCtx(ctx context.Context, in, dst *tensor.Tensor) error {
+	_, err := e.runModeled(ctx, in, dst)
+	return err
+}
+
 // RunIntoModeled is RunInto additionally returning the device's modeled
 // execution time in microseconds (zero when the device does not model
 // hardware, e.g. the CPU).
 func (e *Executor) RunIntoModeled(in, dst *tensor.Tensor) (float64, error) {
+	return e.runModeled(context.Background(), in, dst)
+}
+
+// RunIntoModeledCtx is RunIntoCtx additionally returning the modeled time.
+func (e *Executor) RunIntoModeledCtx(ctx context.Context, in, dst *tensor.Tensor) (float64, error) {
+	return e.runModeled(ctx, in, dst)
+}
+
+func (e *Executor) runModeled(ctx context.Context, in, dst *tensor.Tensor) (float64, error) {
 	if in.Shape != e.prog.InputShape() {
 		return 0, fmt.Errorf("runtime: %s input shape %v, want %v", e.prog.Net.Name, in.Shape, e.prog.InputShape())
 	}
 	if dst.Shape != e.prog.OutputShape() {
 		return 0, fmt.Errorf("runtime: %s output shape %v, want %v", e.prog.Net.Name, dst.Shape, e.prog.OutputShape())
 	}
-	inst := e.pool.Get()
+	inst, err := e.pool.Get()
+	if err != nil {
+		return 0, err
+	}
 	defer e.pool.Put(inst)
-	return inst.run(e.dev, in, dst)
+	return inst.run(ctx, e.dev, in, dst)
 }
 
 // run executes the program over this instance's arena on the given device,
-// accumulating the device's modeled time.
-func (inst *Instance) run(dev Device, in, dst *tensor.Tensor) (float64, error) {
+// accumulating the device's modeled time.  A panic anywhere below — a buggy
+// kernel, a faulting device — is contained into a *PanicError so it fails
+// this run, never the process.  Cancellation is checked before every op.
+func (inst *Instance) run(ctx context.Context, dev Device, in, dst *tensor.Tensor) (modeledUS float64, err error) {
+	defer containPanic("executor", &err)
 	if err := tensor.ConvertInto(in, inst.bufs[inst.prog.Input]); err != nil {
 		return 0, fmt.Errorf("runtime: staging input: %w", err)
 	}
-	var modeledUS float64
+	done := ctx.Done()
 	for i, op := range inst.prog.Ops {
+		if done != nil {
+			select {
+			case <-done:
+				return modeledUS, ctx.Err()
+			default:
+			}
+		}
 		if op.Kind == OpReshape && inst.prog.Buffers[op.Out].AliasOf != NoBuffer {
 			// Zero-copy view: the output header already shares the input's
 			// storage and linearisation.

@@ -3,6 +3,8 @@ package runtime
 import (
 	"fmt"
 	"sort"
+
+	"memcnn/internal/tensor"
 )
 
 // Interval is a buffer's live range in op indices: the buffer is written at
@@ -132,7 +134,43 @@ func PlanMemory(p *Program) (*MemPlan, error) {
 		liveOut[id] = Interval{Def: def[r], LastUse: last[r]}
 	}
 
-	return &MemPlan{Offsets: offsets, Live: liveOut, ArenaElems: arena}, nil
+	m := &MemPlan{Offsets: offsets, Live: liveOut, ArenaElems: arena}
+	if err := m.validateInstantiable(p); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// validateInstantiable checks that an executor instance can be bound over the
+// plan without failing: every alias buffer is a pure reinterpretation of its
+// root (tensor.Reshape would refuse otherwise), every root buffer has a
+// valid shape and layout and lies inside the arena.  Running it at plan
+// construction turns what used to be an arena-binding panic inside a serving
+// worker into a returned compile error — a bad plan can be rejected, never
+// take down a server.
+func (m *MemPlan) validateInstantiable(p *Program) error {
+	for i, b := range p.Buffers {
+		if b.AliasOf != NoBuffer {
+			r := p.root(BufferID(i))
+			if r >= BufferID(i) {
+				return fmt.Errorf("runtime: alias buffer %d does not follow its root %d", i, r)
+			}
+			root := p.Buffers[r]
+			if !tensor.CanReinterpret(root.Shape, b.Shape, root.Layout) {
+				return fmt.Errorf("runtime: alias buffer %d cannot reinterpret its root %d (%v as %v under %v)",
+					i, r, root.Shape, b.Shape, root.Layout)
+			}
+			continue
+		}
+		if !b.Shape.Valid() || !b.Layout.Valid() {
+			return fmt.Errorf("runtime: buffer %d has invalid shape %v or layout %v", i, b.Shape, b.Layout)
+		}
+		if off := m.Offsets[i]; off < 0 || off+b.Elems() > m.ArenaElems {
+			return fmt.Errorf("runtime: buffer %d [%d,%d) outside arena of %d elems",
+				i, off, off+b.Elems(), m.ArenaElems)
+		}
+	}
+	return nil
 }
 
 // bestFit returns the offset for a buffer of the given size among conflicting

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,6 +59,7 @@ type pipeStage struct {
 
 // pipeJob is one batch moving through the pipeline.
 type pipeJob struct {
+	ctx     context.Context        // the submitting request's context
 	cur     *tensor.Tensor         // input to the stage about to run
 	release func(t *tensor.Tensor) // returns cur to its boundary pool (nil for the caller's input)
 	dst     *tensor.Tensor         // final destination, written by the last stage
@@ -99,10 +101,22 @@ func NewPipelineExecutor(sp *ShardedProgram) *PipelineExecutor {
 func (pe *PipelineExecutor) Sharded() *ShardedProgram { return pe.sp }
 
 // runStage drains one stage's job queue until the pipeline closes, forwarding
-// each batch to the next stage (or completing it at the last).
+// each batch to the next stage (or completing it at the last).  A batch whose
+// context is already cancelled skips the stage; a panic inside the stage's
+// executor is contained into the batch's error (the executor recovers it),
+// so a poisoned batch fails its own request and the stage goroutine keeps
+// serving the next one.
 func (pe *PipelineExecutor) runStage(ps *pipeStage) {
 	defer pe.wg.Done()
 	for job := range ps.in {
+		if err := job.ctx.Err(); err != nil {
+			// Cancelled while queued: don't burn the stage on a dead batch.
+			if job.release != nil {
+				job.release(job.cur)
+			}
+			job.done <- err
+			continue
+		}
 		var out *tensor.Tensor
 		if ps.next == nil {
 			out = job.dst
@@ -110,7 +124,7 @@ func (pe *PipelineExecutor) runStage(ps *pipeStage) {
 			out = ps.boundary.Get().(*tensor.Tensor)
 		}
 		start := time.Now()
-		modeledUS, err := ps.exec.RunIntoModeled(job.cur, out)
+		modeledUS, err := ps.exec.RunIntoModeledCtx(job.ctx, job.cur, out)
 		ps.measuredNS.Add(int64(time.Since(start)))
 		ps.modeledNS.Add(int64((modeledUS + ps.transferInUS) * 1e3))
 		ps.jobs.Add(1)
@@ -151,6 +165,16 @@ func (pe *PipelineExecutor) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
 // It blocks until the batch has drained from the last stage; submit batches
 // from several goroutines to keep every stage busy.
 func (pe *PipelineExecutor) RunInto(in, dst *tensor.Tensor) error {
+	return pe.RunIntoCtx(context.Background(), in, dst)
+}
+
+// RunIntoCtx is RunInto honoring a context: a batch whose context is
+// cancelled or past its deadline skips the stages it has not reached yet (and
+// abandons the one it is on between ops) and fails with ctx.Err().  The call
+// still blocks until the batch has drained from the pipeline — dst may not be
+// written concurrently with the caller reclaiming it — so cancellation stops
+// work early but never races the destination buffer.
+func (pe *PipelineExecutor) RunIntoCtx(ctx context.Context, in, dst *tensor.Tensor) error {
 	base := pe.sp.Base
 	if in.Shape != base.InputShape() {
 		return fmt.Errorf("runtime: %s input shape %v, want %v", base.Net.Name, in.Shape, base.InputShape())
@@ -158,7 +182,10 @@ func (pe *PipelineExecutor) RunInto(in, dst *tensor.Tensor) error {
 	if dst.Shape != base.OutputShape() {
 		return fmt.Errorf("runtime: %s output shape %v, want %v", base.Net.Name, dst.Shape, base.OutputShape())
 	}
-	job := &pipeJob{cur: in, dst: dst, done: make(chan error, 1)}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	job := &pipeJob{ctx: ctx, cur: in, dst: dst, done: make(chan error, 1)}
 	pe.mu.RLock()
 	if pe.closed {
 		pe.mu.RUnlock()

@@ -18,8 +18,13 @@ type Instance struct {
 }
 
 // newInstance allocates the arena and binds every buffer header to its
-// planned offset.  Alias buffers view the same storage as their root.
-func newInstance(p *Program) *Instance {
+// planned offset.  Alias buffers view the same storage as their root.  The
+// consistency conditions it depends on (alias reinterpretability, offsets
+// inside the arena, shape/layout validity) are checked when the program is
+// constructed — PlanMemory rejects a plan that cannot instantiate — so a bad
+// plan surfaces as a compile error, not a crash in a serving worker; the
+// errors here are a backstop for hand-built programs.
+func newInstance(p *Program) (*Instance, error) {
 	inst := &Instance{
 		prog:  p,
 		arena: make([]float32, p.Mem.ArenaElems),
@@ -29,22 +34,29 @@ func newInstance(p *Program) *Instance {
 		if b.AliasOf != NoBuffer {
 			// A zero-copy view of its root's storage; roots always precede
 			// their aliases, so the root header exists.
-			view, ok := inst.bufs[p.root(BufferID(i))].Reshape(b.Shape)
+			root := inst.bufs[p.root(BufferID(i))]
+			if root == nil {
+				return nil, fmt.Errorf("runtime: alias buffer %d precedes its root", i)
+			}
+			view, ok := root.Reshape(b.Shape)
 			if !ok {
-				panic(fmt.Sprintf("runtime: buffer %d cannot reinterpret its root as %v", i, b.Shape))
+				return nil, fmt.Errorf("runtime: buffer %d cannot reinterpret its root as %v", i, b.Shape)
 			}
 			inst.bufs[i] = view
 			continue
 		}
 		off := p.Mem.Offsets[i]
+		if off < 0 || off+b.Elems() > len(inst.arena) {
+			return nil, fmt.Errorf("runtime: buffer %d [%d,%d) outside arena of %d elems",
+				i, off, off+b.Elems(), len(inst.arena))
+		}
 		t, err := tensor.NewFrom(b.Shape, b.Layout, inst.arena[off:off+b.Elems()])
 		if err != nil {
-			// Compile and PlanMemory guarantee consistent shapes/offsets.
-			panic("runtime: " + err.Error())
+			return nil, fmt.Errorf("runtime: buffer %d: %w", i, err)
 		}
 		inst.bufs[i] = t
 	}
-	return inst
+	return inst, nil
 }
 
 // Pool recycles program instances across requests and workers.  It is backed
@@ -58,14 +70,31 @@ type Pool struct {
 // NewPool builds an instance pool for a compiled program.
 func NewPool(p *Program) *Pool {
 	pl := &Pool{prog: p}
-	pl.pool.New = func() any { return newInstance(p) }
+	pl.pool.New = func() any {
+		inst, err := newInstance(p)
+		if err != nil {
+			return err
+		}
+		return inst
+	}
 	return pl
 }
 
 // Get returns an instance, reusing a previously released one when available.
 // The arena contents are unspecified; every program op fully overwrites its
-// output buffer, so no clearing is needed.
-func (pl *Pool) Get() *Instance { return pl.pool.Get().(*Instance) }
+// output buffer, so no clearing is needed.  An error means the program's
+// memory plan cannot be instantiated — impossible for compiler-built
+// programs, which are validated at construction.
+func (pl *Pool) Get() (*Instance, error) {
+	switch v := pl.pool.Get().(type) {
+	case *Instance:
+		return v, nil
+	case error:
+		return nil, v
+	default:
+		return nil, fmt.Errorf("runtime: instance pool returned %T", v)
+	}
+}
 
 // Put releases an instance for reuse.
 func (pl *Pool) Put(i *Instance) {

@@ -25,9 +25,29 @@
 // contention: the batch scatter starts one transfer per simulated replica at
 // the same instant, and gpusim.Interconnect.ScatterUS divides the link
 // bandwidth among them (K overlapping transfers run at 1/K the lone rate).
+//
+// # Fault tolerance
+//
+// The group survives its replicas: a sub-batch that fails is retried on the
+// same replica under capped exponential backoff (Config.MaxRetries,
+// Config.RetryBackoff); a replica that exhausts its retries is marked
+// runtime.Unhealthy, taken out of rotation, and the batch split is re-derived
+// over the surviving replicas' original weights — the whole batch then re-runs
+// on the new topology, so whatever the group answers is still bit-identical
+// to the single-device run (rows are image-independent and deterministic,
+// never partially stitched across topologies).  Unhealthy replicas are probed
+// in the background (Config.ProbeInterval) and re-admitted — with another
+// topology re-derivation — once a probe run succeeds, so a replica that only
+// suffered transient faults returns to rotation while a permanently dead one
+// stays out.  Panics inside a replica's engine are contained into
+// *runtime.PanicError by the executor and counted, failing only the batch
+// that hit them.  The retry / failover / re-admission counters are exposed
+// via FaultStats (runtime.FaultReporter), which the batching server folds
+// into its ServerStats.
 package replica
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -41,6 +61,13 @@ import (
 	"memcnn/internal/runtime"
 	"memcnn/internal/tensor"
 )
+
+// ErrGroupClosed is returned for batches submitted to a closed group.
+var ErrGroupClosed = errors.New("replica: group closed")
+
+// ErrNoHealthyReplicas is returned when every replica has been marked
+// unhealthy: the group has nothing left to fail over to.
+var ErrNoHealthyReplicas = errors.New("replica: no healthy replicas")
 
 // Config tunes how a Group is built.
 type Config struct {
@@ -59,46 +86,116 @@ type Config struct {
 	// WarmupProbes is the number of timed runs a CPU-device weight probe
 	// takes (the minimum is used, filtering scheduler noise).  Default 2.
 	WarmupProbes int
+	// MaxRetries is how many times a failed sub-batch is re-run on the same
+	// replica before the replica is marked unhealthy and the batch fails over
+	// to the survivors.  Default 2; negative disables retries (first failure
+	// fails over immediately).
+	MaxRetries int
+	// RetryBackoff is the capped exponential delay between retries.  The
+	// zero value defaults to Base 1ms, Max 50ms.
+	RetryBackoff runtime.Backoff
+	// ProbeInterval is how often unhealthy replicas are probed for
+	// re-admission.  Default 25ms; negative disables background probing
+	// (an unhealthy replica then stays out until the process restarts).
+	ProbeInterval time.Duration
+}
+
+// withDefaults replaces unset fields with their defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == (runtime.Backoff{}) {
+		c.RetryBackoff = runtime.Backoff{Base: time.Millisecond, Max: 50 * time.Millisecond}
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 25 * time.Millisecond
+	}
+	return c
 }
 
 // Group replicates a compiled program across devices and implements
 // runtime.Runner by scattering each batch over the replicas.  RunInto is safe
 // for concurrent use: every call slices its own sub-batch views and each
-// replica's executor draws a private arena instance per run.
+// replica's executor draws a private arena instance per run.  The group is
+// also a runtime.FaultReporter; see the package comment for the failover
+// behaviour.
 type Group struct {
 	base     *runtime.Program
+	cfg      Config
 	units    []*unit
-	weights  []float64
-	shares   []int
-	scatter  []float64 // modeled contended scatter cost per replica, us/batch
+	weights  []float64 // original derived/configured weights, by replica
 	inShape  tensor.Shape
 	outShape tensor.Shape
+
+	// topo is the current batch split; swapped whole on failover and
+	// re-admission so in-flight batches keep a consistent view.
+	topo atomic.Pointer[topology]
 
 	inPool  sync.Pool // staging for non-NCHW callers
 	outPool sync.Pool
 
-	mu      sync.Mutex
-	closed  bool
-	batches atomic.Uint64
+	mu     sync.Mutex // serialises topology rebuilds and Close
+	closed atomic.Bool
+
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
+
+	batches      atomic.Uint64
+	retries      atomic.Uint64
+	failovers    atomic.Uint64
+	readmissions atomic.Uint64
+	panics       atomic.Uint64
 }
 
-// unit is one replica: its sub-batch program and the engine running it.
+// topology is one immutable batch split over the units: the per-unit image
+// counts, their row offsets, and the modeled contended scatter cost.
+type topology struct {
+	shares  []int
+	offsets []int
+	scatter []float64 // modeled contended scatter cost per replica, us/batch
+}
+
+// unit is one replica: its devices, health, and the engines built for the
+// sub-batch sizes it has served (one compiled program per distinct share,
+// cached — failover changes a replica's share, and re-deriving the split
+// must not recompile programs on the hot path more than once per size).
 type unit struct {
 	index   int
 	devices []runtime.Device
-	share   int
-	offset  int
-	prog    *runtime.Program          // nil when share == 0
-	exec    *runtime.Executor         // single-device replica
-	pipe    *runtime.PipelineExecutor // pipeline-sharded replica
-	modeled float64                   // static modeled us per sub-batch (0 on CPU)
+
+	healthy atomic.Bool
+
+	mu      sync.Mutex
+	engines map[int]*engine // share -> engine
 
 	batches    atomic.Uint64
+	failures   atomic.Uint64
 	measuredNS atomic.Int64
 }
 
+// engine is one compiled sub-batch program and the executor or pipeline
+// running it.
+type engine struct {
+	prog    *runtime.Program
+	exec    *runtime.Executor         // single-device replica
+	pipe    *runtime.PipelineExecutor // pipeline-sharded replica
+	modeled float64                   // static modeled us per sub-batch (0 on CPU)
+}
+
+// run executes one sub-batch on the engine.
+func (e *engine) run(ctx context.Context, in, out *tensor.Tensor) error {
+	if e.exec != nil {
+		return e.exec.RunIntoCtx(ctx, in, out)
+	}
+	return e.pipe.RunIntoCtx(ctx, in, out)
+}
+
 // NewGroup builds a replica group for a compiled program.  Close must be
-// called to stop the stage goroutines of pipeline-sharded replicas.
+// called to stop the background prober and the stage goroutines of
+// pipeline-sharded replicas.
 func NewGroup(base *runtime.Program, replicas int, cfg Config) (*Group, error) {
 	if base == nil {
 		return nil, fmt.Errorf("replica: cannot replicate a nil program")
@@ -109,6 +206,7 @@ func NewGroup(base *runtime.Program, replicas int, cfg Config) (*Group, error) {
 	if cfg.Devices != nil && len(cfg.Devices) != replicas {
 		return nil, fmt.Errorf("replica: %d device lists for %d replicas", len(cfg.Devices), replicas)
 	}
+	cfg = cfg.withDefaults()
 	// Work on a copy of the outer slice: defaulting empty entries to the CPU
 	// must not write through to the caller's configuration.
 	devices := make([][]runtime.Device, replicas)
@@ -126,86 +224,149 @@ func NewGroup(base *runtime.Program, replicas int, cfg Config) (*Group, error) {
 	if len(weights) != replicas {
 		return nil, fmt.Errorf("replica: %d weights for %d replicas", len(weights), replicas)
 	}
-	shares, err := Shares(base.InputShape().N, weights)
-	if err != nil {
-		return nil, err
-	}
 
 	g := &Group{
-		base:     base,
-		weights:  append([]float64(nil), weights...),
-		shares:   shares,
-		inShape:  base.InputShape(),
-		outShape: base.OutputShape(),
+		base:      base,
+		cfg:       cfg,
+		weights:   append([]float64(nil), weights...),
+		inShape:   base.InputShape(),
+		outShape:  base.OutputShape(),
+		probeStop: make(chan struct{}),
 	}
 	g.inPool.New = func() any { return tensor.New(g.inShape, tensor.NCHW) }
 	g.outPool.New = func() any { return tensor.New(g.outShape, tensor.NCHW) }
-
-	offset := 0
-	for i, share := range shares {
-		u := &unit{index: i, devices: devices[i], share: share, offset: offset}
-		offset += share
-		if share > 0 {
-			if err := g.buildReplica(u); err != nil {
-				g.Close()
-				return nil, err
-			}
-		}
+	for i := range devices {
+		u := &unit{index: i, devices: devices[i], engines: map[int]*engine{}}
+		u.healthy.Store(true)
 		g.units = append(g.units, u)
 	}
-	g.scatter = g.modelScatter()
-	for _, u := range g.units {
-		u.modeled += g.scatter[u.index]
+	topo, err := g.deriveTopology()
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	g.topo.Store(topo)
+	if cfg.ProbeInterval > 0 {
+		g.probeWG.Add(1)
+		go g.probeLoop()
 	}
 	return g, nil
 }
 
-// buildReplica compiles the unit's sub-batch program (against the base's
-// layouts and algorithm choices, over the base network's shared weights) and
-// starts its engine.
-func (g *Group) buildReplica(u *unit) error {
-	net, err := g.base.Net.WithBatch(u.share)
-	if err != nil {
-		return fmt.Errorf("replica %d: %w", u.index, err)
-	}
-	prog, err := runtime.CompileLike(g.base, net)
-	if err != nil {
-		return fmt.Errorf("replica %d: %w", u.index, err)
-	}
-	u.prog = prog
-	if len(u.devices) == 1 {
-		u.exec = runtime.NewExecutorOn(prog, u.devices[0])
-		if sd, ok := u.devices[0].(*runtime.SimDevice); ok {
-			u.modeled = sd.ModelProgramUS(prog)
-		}
-		return nil
-	}
-	sp, err := runtime.Shard(prog, len(u.devices), runtime.ShardOptions{Devices: u.devices})
-	if err != nil {
-		return fmt.Errorf("replica %d: %w", u.index, err)
-	}
-	u.pipe = runtime.NewPipelineExecutor(sp)
-	for _, st := range sp.Stages {
-		if sd, ok := st.Device.(*runtime.SimDevice); ok {
-			u.modeled += sd.ModelProgramUS(st.Prog) + sd.TransferInUS(st.TransferInBytes)
+// deriveTopology computes the batch split over the currently healthy units
+// (using their original weights) and ensures every unit that receives images
+// has an engine compiled for its share.
+func (g *Group) deriveTopology() (*topology, error) {
+	live := make([]float64, len(g.units))
+	any := false
+	for i, u := range g.units {
+		if u.healthy.Load() && g.weights[i] > 0 {
+			live[i] = g.weights[i]
+			any = true
 		}
 	}
+	if !any {
+		return nil, ErrNoHealthyReplicas
+	}
+	shares, err := Shares(g.inShape.N, live)
+	if err != nil {
+		return nil, err
+	}
+	offsets := make([]int, len(shares))
+	offset := 0
+	for i, share := range shares {
+		offsets[i] = offset
+		offset += share
+		if share > 0 {
+			if _, err := g.units[i].engine(g.base, share); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &topology{shares: shares, offsets: offsets, scatter: g.modelScatter(shares)}, nil
+}
+
+// rebuild re-derives the topology after a health transition.  Concurrent
+// failing batches race to call it; the lock makes the rebuilds sequential and
+// each one computes from the health state it observes, so the last rebuild
+// reflects the final state.
+func (g *Group) rebuild() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed.Load() {
+		return ErrGroupClosed
+	}
+	topo, err := g.deriveTopology()
+	if err != nil {
+		return err
+	}
+	g.topo.Store(topo)
 	return nil
 }
 
-// modelScatter prices the batch scatter: the sub-batch transfers onto every
-// simulated replica start together and contend for the shared link, so each
-// completes at the water-filled time gpusim.Interconnect.ScatterUS assigns it
-// (plus the receiving device's launch overhead).  CPU replicas are host-local
-// and free.
-func (g *Group) modelScatter() []float64 {
+// engine returns the unit's engine for a sub-batch of the given share,
+// compiling and caching it on first use.
+func (u *unit) engine(base *runtime.Program, share int) (*engine, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if e, ok := u.engines[share]; ok {
+		return e, nil
+	}
+	e, err := buildEngine(base, u.devices, share)
+	if err != nil {
+		return nil, fmt.Errorf("replica %d: %w", u.index, err)
+	}
+	u.engines[share] = e
+	return e, nil
+}
+
+// buildEngine compiles a sub-batch program (against the base's layouts and
+// algorithm choices, over the base network's shared weights) and starts its
+// engine.  Devices are resolved through fault wrappers (runtime.SimOf) so a
+// wrapped simulated device keeps its modeled pricing.
+func buildEngine(base *runtime.Program, devices []runtime.Device, share int) (*engine, error) {
+	net, err := base.Net.WithBatch(share)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := runtime.CompileLike(base, net)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{prog: prog}
+	if len(devices) == 1 {
+		e.exec = runtime.NewExecutorOn(prog, devices[0])
+		if sd := runtime.SimOf(devices[0]); sd != nil {
+			e.modeled = sd.ModelProgramUS(prog)
+		}
+		return e, nil
+	}
+	sp, err := runtime.Shard(prog, len(devices), runtime.ShardOptions{Devices: devices})
+	if err != nil {
+		return nil, err
+	}
+	e.pipe = runtime.NewPipelineExecutor(sp)
+	for _, st := range sp.Stages {
+		if sd := runtime.SimOf(st.Device); sd != nil {
+			e.modeled += sd.ModelProgramUS(st.Prog) + sd.TransferInUS(st.TransferInBytes)
+		}
+	}
+	return e, nil
+}
+
+// modelScatter prices the batch scatter for one share split: the sub-batch
+// transfers onto every simulated replica start together and contend for the
+// shared link, so each completes at the water-filled time
+// gpusim.Interconnect.ScatterUS assigns it (plus the receiving device's
+// launch overhead).  CPU replicas are host-local and free.
+func (g *Group) modelScatter(shares []int) []float64 {
 	chw := int64(g.inShape.C) * int64(g.inShape.H) * int64(g.inShape.W) * 4
 	sizes := make([]int64, len(g.units))
 	var link gpusim.Interconnect
 	sims := 0
 	for i, u := range g.units {
-		if sd, ok := u.devices[0].(*runtime.SimDevice); ok && u.share > 0 {
-			sizes[i] = int64(u.share) * chw
+		if sd := runtime.SimOf(u.devices[0]); sd != nil && shares[i] > 0 {
+			sizes[i] = int64(shares[i]) * chw
 			link = sd.Link()
 			sims++
 		}
@@ -217,7 +378,7 @@ func (g *Group) modelScatter() []float64 {
 	done := link.ScatterUS(sizes)
 	for i, u := range g.units {
 		if sizes[i] > 0 {
-			out[i] = done[i] + u.devices[0].(*runtime.SimDevice).HW.LaunchOverheadUS
+			out[i] = done[i] + runtime.SimOf(u.devices[0]).HW.LaunchOverheadUS
 		}
 	}
 	return out
@@ -226,28 +387,72 @@ func (g *Group) modelScatter() []float64 {
 // Base returns the program the group replicates.
 func (g *Group) Base() *runtime.Program { return g.base }
 
-// BatchShares returns the per-replica image counts one full batch splits
-// into; they sum to the program's batch size.
-func (g *Group) BatchShares() []int { return append([]int(nil), g.shares...) }
+// BatchShares returns the per-replica image counts one full batch currently
+// splits into; they sum to the program's batch size.  Failover and
+// re-admission change the split.
+func (g *Group) BatchShares() []int {
+	return append([]int(nil), g.topo.Load().shares...)
+}
 
-// Weights returns the per-replica throughput weights the shares were derived
+// Weights returns the per-replica throughput weights the shares are derived
 // from.
 func (g *Group) Weights() []float64 { return append([]float64(nil), g.weights...) }
 
-// Replicas returns the replica count (including idle zero-share replicas).
+// Replicas returns the replica count (including idle and unhealthy replicas).
 func (g *Group) Replicas() int { return len(g.units) }
 
 // Batches returns the number of full batches the group has served.
 func (g *Group) Batches() uint64 { return g.batches.Load() }
 
-// ModeledBatchUS returns the modeled wall time of one scattered batch: the
-// slowest replica's contended scatter transfer plus sub-batch execution.
-// Zero when no replica runs on a modeled device.
-func (g *Group) ModeledBatchUS() float64 {
-	var worst float64
+// Health returns the per-replica health states.
+func (g *Group) Health() []runtime.Health {
+	out := make([]runtime.Health, len(g.units))
+	for i, u := range g.units {
+		if !u.healthy.Load() {
+			out[i] = runtime.Unhealthy
+		}
+	}
+	return out
+}
+
+// HealthyReplicas returns how many replicas are currently in rotation.
+func (g *Group) HealthyReplicas() int {
+	n := 0
 	for _, u := range g.units {
-		if u.modeled > worst {
-			worst = u.modeled
+		if u.healthy.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// FaultStats implements runtime.FaultReporter.
+func (g *Group) FaultStats() runtime.FaultStats {
+	return runtime.FaultStats{
+		Retries:           g.retries.Load(),
+		Failovers:         g.failovers.Load(),
+		Readmissions:      g.readmissions.Load(),
+		Panics:            g.panics.Load(),
+		UnhealthyReplicas: len(g.units) - g.HealthyReplicas(),
+	}
+}
+
+// ModeledBatchUS returns the modeled wall time of one scattered batch under
+// the current topology: the slowest replica's contended scatter transfer plus
+// sub-batch execution.  Zero when no replica runs on a modeled device.
+func (g *Group) ModeledBatchUS() float64 {
+	topo := g.topo.Load()
+	var worst float64
+	for i, u := range g.units {
+		if topo.shares[i] == 0 {
+			continue
+		}
+		e, err := u.engine(g.base, topo.shares[i])
+		if err != nil {
+			continue
+		}
+		if total := e.modeled + topo.scatter[i]; total > worst {
+			worst = total
 		}
 	}
 	return worst
@@ -257,6 +462,17 @@ func (g *Group) ModeledBatchUS() float64 {
 // replicas, the sub-batches run concurrently, and the outputs land in dst
 // exactly where a single-device run would put them.
 func (g *Group) RunInto(in, dst *tensor.Tensor) error {
+	return g.RunIntoCtx(context.Background(), in, dst)
+}
+
+// RunIntoCtx is RunInto honoring a context: cancellation propagates into
+// every replica's sub-batch (between ops, between pipeline stages) and
+// suppresses retries and failover — a deadline-expired batch fails with
+// ctx.Err() instead of burning the survivors on work nobody is waiting for.
+func (g *Group) RunIntoCtx(ctx context.Context, in, dst *tensor.Tensor) error {
+	if g.closed.Load() {
+		return ErrGroupClosed
+	}
 	if in.Shape != g.inShape {
 		return fmt.Errorf("replica: %s input shape %v, want %v", g.base.Net.Name, in.Shape, g.inShape)
 	}
@@ -281,54 +497,187 @@ func (g *Group) RunInto(in, dst *tensor.Tensor) error {
 		out = staged
 	}
 
+	// Failover loop: run the whole batch on the current topology; if any
+	// replica fails past its retries, mark it unhealthy, re-derive the split
+	// over the survivors and re-run the whole batch.  Re-running everything
+	// (rather than stitching surviving rows to re-computed ones) keeps the
+	// output bit-identical trivially: rows are image-independent and
+	// deterministic, so each full re-run reproduces the same bits.  The loop
+	// is bounded by the replica count — every iteration removes at least one
+	// replica or returns.
+	var lastErr error
+	for round := 0; round <= len(g.units); round++ {
+		topo := g.topo.Load()
+		errs := g.runTopology(ctx, topo, src, out)
+		lastErr = errors.Join(errs...)
+		if lastErr == nil {
+			g.batches.Add(1)
+			if out != dst {
+				if err := tensor.ConvertInto(out, dst); err != nil {
+					return fmt.Errorf("replica: delivering output: %w", err)
+				}
+			}
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			// The caller is gone (or out of time): don't fail over on its
+			// behalf — the failure may be the cancellation itself.
+			return err
+		}
+		for i, uerr := range errs {
+			if uerr == nil {
+				continue
+			}
+			if g.units[i].healthy.CompareAndSwap(true, false) {
+				g.failovers.Add(1)
+			}
+		}
+		if err := g.rebuild(); err != nil {
+			return fmt.Errorf("replica: %w (last batch error: %w)", err, lastErr)
+		}
+	}
+	return fmt.Errorf("replica: %w", lastErr)
+}
+
+// runTopology runs one whole batch under one topology, returning the
+// per-unit errors (nil entries for units that succeeded or were idle).
+func (g *Group) runTopology(ctx context.Context, topo *topology, src, out *tensor.Tensor) []error {
 	chwIn := g.inShape.C * g.inShape.H * g.inShape.W
 	chwOut := g.outShape.C * g.outShape.H * g.outShape.W
 	var wg sync.WaitGroup
 	errs := make([]error, len(g.units))
-	for _, u := range g.units {
-		if u.share == 0 {
+	for i, u := range g.units {
+		share, offset := topo.shares[i], topo.offsets[i]
+		if share == 0 {
+			continue
+		}
+		e, err := u.engine(g.base, share)
+		if err != nil {
+			errs[i] = err
 			continue
 		}
 		subIn, err := tensor.NewFrom(
-			tensor.Shape{N: u.share, C: g.inShape.C, H: g.inShape.H, W: g.inShape.W},
-			tensor.NCHW, src.Data[u.offset*chwIn:(u.offset+u.share)*chwIn])
+			tensor.Shape{N: share, C: g.inShape.C, H: g.inShape.H, W: g.inShape.W},
+			tensor.NCHW, src.Data[offset*chwIn:(offset+share)*chwIn])
 		if err != nil {
-			return fmt.Errorf("replica %d: %w", u.index, err)
+			errs[i] = fmt.Errorf("replica %d: %w", u.index, err)
+			continue
 		}
 		subOut, err := tensor.NewFrom(
-			tensor.Shape{N: u.share, C: g.outShape.C, H: g.outShape.H, W: g.outShape.W},
-			tensor.NCHW, out.Data[u.offset*chwOut:(u.offset+u.share)*chwOut])
+			tensor.Shape{N: share, C: g.outShape.C, H: g.outShape.H, W: g.outShape.W},
+			tensor.NCHW, out.Data[offset*chwOut:(offset+share)*chwOut])
 		if err != nil {
-			return fmt.Errorf("replica %d: %w", u.index, err)
+			errs[i] = fmt.Errorf("replica %d: %w", u.index, err)
+			continue
 		}
 		wg.Add(1)
-		go func(u *unit) {
+		go func(u *unit, e *engine, subIn, subOut *tensor.Tensor) {
 			defer wg.Done()
-			start := time.Now()
-			var err error
-			if u.exec != nil {
-				err = u.exec.RunInto(subIn, subOut)
-			} else {
-				err = u.pipe.RunInto(subIn, subOut)
-			}
-			u.measuredNS.Add(int64(time.Since(start)))
-			u.batches.Add(1)
-			if err != nil {
+			if err := g.runUnit(ctx, u, e, subIn, subOut); err != nil {
 				errs[u.index] = fmt.Errorf("replica %d: %w", u.index, err)
 			}
-		}(u)
+		}(u, e, subIn, subOut)
 	}
 	wg.Wait()
-	g.batches.Add(1)
-	if err := errors.Join(errs...); err != nil {
-		return fmt.Errorf("replica: %w", err)
-	}
-	if out != dst {
-		if err := tensor.ConvertInto(out, dst); err != nil {
-			return fmt.Errorf("replica: delivering output: %w", err)
+	return errs
+}
+
+// runUnit runs one sub-batch on one replica, retrying under backoff on
+// failure.  Panics have already been contained into *runtime.PanicError by
+// the engine's executor; they are counted here and treated like any other
+// failure.  Cancellation suppresses retries.
+func (g *Group) runUnit(ctx context.Context, u *unit, e *engine, in, out *tensor.Tensor) error {
+	for attempt := 0; ; attempt++ {
+		start := time.Now()
+		err := e.run(ctx, in, out)
+		u.measuredNS.Add(int64(time.Since(start)))
+		u.batches.Add(1)
+		if err == nil {
+			return nil
+		}
+		u.failures.Add(1)
+		var pe *runtime.PanicError
+		if errors.As(err, &pe) {
+			g.panics.Add(1)
+		}
+		if ctx.Err() != nil || attempt >= g.cfg.MaxRetries {
+			return err
+		}
+		g.retries.Add(1)
+		if d := g.cfg.RetryBackoff.Delay(attempt); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-g.probeStop:
+				return ErrGroupClosed
+			}
 		}
 	}
-	return nil
+}
+
+// probeLoop periodically probes unhealthy replicas with a one-image run and
+// re-admits those whose probe succeeds, re-deriving the topology to hand them
+// traffic again.
+func (g *Group) probeLoop() {
+	defer g.probeWG.Done()
+	ticker := time.NewTicker(g.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.probeStop:
+			return
+		case <-ticker.C:
+		}
+		for i, u := range g.units {
+			if u.healthy.Load() || g.weights[i] <= 0 {
+				continue
+			}
+			if g.probeUnit(u) {
+				if u.healthy.CompareAndSwap(false, true) {
+					g.readmissions.Add(1)
+					if err := g.rebuild(); err != nil {
+						// Nothing healthy changed for the worse; leave the
+						// old topology standing and retry next tick.
+						u.healthy.Store(false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// probeUnit runs one sub-batch through the replica's smallest cached engine
+// (compiling a one-image engine if it has none) and reports success.  A dead
+// device fails the probe immediately; a transiently faulty one eventually
+// passes.
+func (g *Group) probeUnit(u *unit) bool {
+	u.mu.Lock()
+	share := -1
+	for s := range u.engines {
+		if share == -1 || s < share {
+			share = s
+		}
+	}
+	u.mu.Unlock()
+	if share == -1 {
+		share = 1
+	}
+	e, err := u.engine(g.base, share)
+	if err != nil {
+		return false
+	}
+	in := tensor.New(tensor.Shape{N: share, C: g.inShape.C, H: g.inShape.H, W: g.inShape.W}, tensor.NCHW)
+	out := tensor.New(tensor.Shape{N: share, C: g.outShape.C, H: g.outShape.H, W: g.outShape.W}, tensor.NCHW)
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("replica %d: probe panic: %v", u.index, r)
+			}
+		}()
+		return e.run(context.Background(), in, out)
+	}()
+	return err == nil
 }
 
 // Run executes one batch, returning a freshly allocated output in the input's
@@ -341,19 +690,27 @@ func (g *Group) Run(in *tensor.Tensor) (*tensor.Tensor, error) {
 	return out, nil
 }
 
-// Close stops the stage goroutines of pipeline-sharded replicas.  It is
-// idempotent; single-executor replicas hold no goroutines.
+// Close stops the background prober and the stage goroutines of
+// pipeline-sharded replicas.  It is idempotent; RunInto after Close returns
+// ErrGroupClosed.
 func (g *Group) Close() {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
+	if g.closed.Load() {
+		g.mu.Unlock()
 		return
 	}
-	g.closed = true
+	g.closed.Store(true)
+	close(g.probeStop)
+	g.mu.Unlock()
+	g.probeWG.Wait()
 	for _, u := range g.units {
-		if u.pipe != nil {
-			u.pipe.Close()
+		u.mu.Lock()
+		for _, e := range u.engines {
+			if e.pipe != nil {
+				e.pipe.Close()
+			}
 		}
+		u.mu.Unlock()
 	}
 }
 
@@ -363,7 +720,11 @@ type Stats struct {
 	Devices string
 	Weight  float64
 	Share   int
+	Health  string
 	Batches uint64
+	// Failures counts sub-batch runs (including retries) that returned an
+	// error.
+	Failures uint64
 	// ScatterUS is the modeled contended input transfer per batch and
 	// ModeledUS the modeled sub-batch total including it; both zero on
 	// unmodeled (CPU) replicas.
@@ -373,22 +734,33 @@ type Stats struct {
 	MeasuredUS float64
 }
 
-// ReplicaStats snapshots per-replica counters.
+// ReplicaStats snapshots per-replica counters under the current topology.
 func (g *Group) ReplicaStats() []Stats {
+	topo := g.topo.Load()
 	out := make([]Stats, len(g.units))
 	for i, u := range g.units {
 		names := make([]string, len(u.devices))
 		for j, d := range u.devices {
 			names[j] = d.Name()
 		}
+		health := runtime.Healthy
+		if !u.healthy.Load() {
+			health = runtime.Unhealthy
+		}
 		s := Stats{
 			Replica:   i,
 			Devices:   strings.Join(names, "+"),
 			Weight:    g.weights[i],
-			Share:     u.share,
+			Share:     topo.shares[i],
+			Health:    health.String(),
 			Batches:   u.batches.Load(),
-			ScatterUS: g.scatter[i],
-			ModeledUS: u.modeled,
+			Failures:  u.failures.Load(),
+			ScatterUS: topo.scatter[i],
+		}
+		if topo.shares[i] > 0 {
+			if e, err := u.engine(g.base, topo.shares[i]); err == nil {
+				s.ModeledUS = e.modeled + topo.scatter[i]
+			}
 		}
 		if s.Batches > 0 {
 			s.MeasuredUS = float64(u.measuredNS.Load()) / 1e3 / float64(s.Batches)
@@ -447,7 +819,9 @@ func Shares(batch int, weights []float64) ([]int, error) {
 // program (gpusim pricing), a CPU device its measured rate from a short
 // warmup probe (probes timed runs after one warming run; minimum taken).  A
 // replica's weight is the sum over its devices, crediting pipeline-sharded
-// replicas with their extra stage throughput.
+// replicas with their extra stage throughput.  Devices are resolved through
+// fault wrappers (runtime.SimOf), so a FaultDevice around a simulated device
+// is still priced on its hardware model rather than probed.
 func DeriveWeights(base *runtime.Program, devices [][]runtime.Device, probes int) []float64 {
 	if probes <= 0 {
 		probes = 2
@@ -455,7 +829,7 @@ func DeriveWeights(base *runtime.Program, devices [][]runtime.Device, probes int
 	weights := make([]float64, len(devices))
 	for i, devs := range devices {
 		for _, d := range devs {
-			if sd, ok := d.(*runtime.SimDevice); ok {
+			if sd := runtime.SimOf(d); sd != nil {
 				if us := sd.ModelProgramUS(base); us > 0 {
 					weights[i] += 1e6 / us
 				}
@@ -470,23 +844,35 @@ func DeriveWeights(base *runtime.Program, devices [][]runtime.Device, probes int
 }
 
 // probeSeconds measures one warmed full-batch run of the base program on the
-// device, returning the minimum of the timed runs in seconds.
+// device, returning the minimum of the timed runs in seconds.  A transiently
+// faulty device (a FaultDevice schedule) gets a bounded number of extra
+// attempts before the probe gives up and weights the replica 0 — a flaky
+// device should start with its fair share and earn failover later, not be
+// starved at construction.
 func probeSeconds(base *runtime.Program, d runtime.Device, probes int) float64 {
 	exec := runtime.NewExecutorOn(base, d)
 	in := tensor.New(base.InputShape(), tensor.NCHW)
 	out := tensor.New(base.OutputShape(), tensor.NCHW)
-	if err := exec.RunInto(in, out); err != nil { // warm the arena pool
+	warmed := false
+	for attempt := 0; attempt < 3 && !warmed; attempt++ { // warm the arena pool
+		warmed = exec.RunInto(in, out) == nil
+	}
+	if !warmed {
 		return 0
 	}
 	best := math.Inf(1)
-	for p := 0; p < probes; p++ {
+	for p, attempts := 0, 0; p < probes && attempts < probes+3; attempts++ {
 		start := time.Now()
 		if err := exec.RunInto(in, out); err != nil {
-			return 0
+			continue
 		}
 		if sec := time.Since(start).Seconds(); sec < best {
 			best = sec
 		}
+		p++
+	}
+	if math.IsInf(best, 1) {
+		return 0
 	}
 	return best
 }

@@ -15,6 +15,13 @@ import (
 // server that has been closed.
 var ErrServerClosed = errors.New("runtime: server closed")
 
+// ErrShed is returned by admission control: the queue is deep enough that the
+// request's estimated wait would exceed the SLO horizon, so the server sheds
+// it immediately instead of letting it time out in the queue — the caller
+// learns in microseconds, not after a wasted deadline, and the queue never
+// builds a backlog of requests that are already doomed.
+var ErrShed = errors.New("runtime: request shed: queue wait would exceed the SLO horizon")
+
 // ServerConfig tunes the micro-batching front-end.
 type ServerConfig struct {
 	// MaxBatch is the largest number of requests coalesced into one planned
@@ -32,6 +39,15 @@ type ServerConfig struct {
 	// memoised by input checksum (LRU, single-flight), so repeated inputs
 	// skip execution entirely.  0 (the default) disables the cache.
 	CacheEntries int
+	// SLO, when positive, is the per-request latency budget: every request
+	// gets a deadline of SLO from admission (unless its own context expires
+	// sooner), requests whose deadline passes while queued are failed with
+	// context.DeadlineExceeded without occupying a batch slot, and admission
+	// control sheds new requests with ErrShed when the queue is deep enough
+	// that their estimated wait (measured batch time x batches ahead) would
+	// already exceed the budget.  0 (the default) disables deadlines and
+	// shedding.
+	SLO time.Duration
 }
 
 // withDefaults replaces unset (or non-positive) fields with their defaults.
@@ -58,11 +74,21 @@ type ServerStats struct {
 	Errors       uint64  // requests that failed
 	LargestBatch uint64  // largest coalesced batch observed
 	AvgBatch     float64 // mean requests per execution
+	// Shed counts requests rejected by admission control (ErrShed) and
+	// Expired requests whose deadline passed while they waited in the queue;
+	// both are zero unless ServerConfig.SLO is set.  Neither is included in
+	// Requests or Errors — they never reached an execution.
+	Shed    uint64
+	Expired uint64
 	// Cache holds the result-cache counters when CacheEntries > 0; requests
 	// served from the cache (or by joining an in-flight identical request)
 	// never reach the batching queue, so they appear here and not in
 	// Requests.
 	Cache *CacheStats `json:",omitempty"`
+	// Faults holds the serving engine's fault-tolerance counters when the
+	// runner reports them (replica.Group: retries, failovers, re-admissions,
+	// replicas currently unhealthy).
+	Faults *FaultStats `json:",omitempty"`
 }
 
 type response struct {
@@ -71,15 +97,22 @@ type response struct {
 }
 
 type request struct {
+	ctx  context.Context
 	img  *tensor.Tensor
 	resp chan response
 }
 
 // Runner executes a compiled program on one input batch.  The single-device
-// Executor and the sharded PipelineExecutor both implement it, which is how
-// the batching server serves either engine.
+// Executor, the sharded PipelineExecutor and the data-parallel replica.Group
+// all implement it, which is how the batching server serves any engine.
+// RunIntoCtx is the context-aware path: cancellation and deadlines propagate
+// into the engine (between ops, between pipeline stages, into replica
+// sub-batches) instead of stopping at the server queue.  Either way dst is
+// only valid when the returned error is nil, and the engine must not write
+// dst after returning.
 type Runner interface {
 	RunInto(in, dst *tensor.Tensor) error
+	RunIntoCtx(ctx context.Context, in, dst *tensor.Tensor) error
 }
 
 // NewServer starts the workers for a compiled program on the single-device
@@ -126,6 +159,8 @@ func NewServerWith(prog *Program, run Runner, cfg ServerConfig) (*BatchServer, e
 // independently, so padded slots cannot perturb real results.  An optional
 // checksum-keyed result cache sits in front of the queue (ServerConfig.
 // CacheEntries), short-circuiting repeated and concurrent-identical inputs.
+// With ServerConfig.SLO the server enforces per-request deadlines and sheds
+// load it cannot serve in time (see ServerConfig.SLO and ErrShed).
 type BatchServer struct {
 	prog  *Program
 	exec  Runner
@@ -143,6 +178,11 @@ type BatchServer struct {
 	batches      atomic.Uint64
 	errors       atomic.Uint64
 	largestBatch atomic.Uint64
+	shed         atomic.Uint64
+	expired      atomic.Uint64
+	// batchNS is an EWMA of measured batch execution time, feeding the
+	// admission-control wait estimate.
+	batchNS atomic.Int64
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -153,12 +193,19 @@ func (s *BatchServer) Config() ServerConfig { return s.cfg }
 // layout, is ready or the context is cancelled.  With CacheEntries > 0 the
 // result cache is consulted first: a repeated input returns its memoised
 // output without execution, and concurrent identical inputs share one
-// execution (single-flight).
+// execution (single-flight).  With SLO > 0 the request runs under a deadline
+// of SLO from now (or the context's own deadline, whichever is sooner) and
+// may be shed with ErrShed before queueing.
 func (s *BatchServer) Infer(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, error) {
 	in := s.prog.InputShape()
 	want := tensor.Shape{N: 1, C: in.C, H: in.H, W: in.W}
 	if img.Shape != want {
 		return nil, fmt.Errorf("runtime: request shape %v, want %v", img.Shape, want)
+	}
+	if s.cfg.SLO > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(s.cfg.SLO))
+		defer cancel()
 	}
 	if s.cache == nil {
 		return s.submit(ctx, img)
@@ -168,9 +215,26 @@ func (s *BatchServer) Infer(ctx context.Context, img *tensor.Tensor) (*tensor.Te
 	})
 }
 
+// admissionWait estimates how long a request entering the queue now will wait
+// before its batch starts: the batches already queued ahead of it, divided
+// over the workers, each taking the measured (EWMA) batch time.  Zero until
+// the first batch has been measured.
+func (s *BatchServer) admissionWait() time.Duration {
+	per := s.batchNS.Load()
+	if per <= 0 {
+		return 0
+	}
+	batchesAhead := len(s.reqs) / s.cfg.MaxBatch
+	return time.Duration(per * int64(batchesAhead) / int64(s.cfg.Workers))
+}
+
 // submit queues one validated image for batching and waits for its result.
 func (s *BatchServer) submit(ctx context.Context, img *tensor.Tensor) (*tensor.Tensor, error) {
-	r := &request{img: img, resp: make(chan response, 1)}
+	if s.cfg.SLO > 0 && s.admissionWait() > s.cfg.SLO {
+		s.shed.Add(1)
+		return nil, ErrShed
+	}
+	r := &request{ctx: ctx, img: img, resp: make(chan response, 1)}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -198,6 +262,8 @@ func (s *BatchServer) Stats() ServerStats {
 		Batches:      s.batches.Load(),
 		Errors:       s.errors.Load(),
 		LargestBatch: s.largestBatch.Load(),
+		Shed:         s.shed.Load(),
+		Expired:      s.expired.Load(),
 	}
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.Requests) / float64(st.Batches)
@@ -205,6 +271,10 @@ func (s *BatchServer) Stats() ServerStats {
 	if s.cache != nil {
 		cs := s.cache.Stats()
 		st.Cache = &cs
+	}
+	if fr, ok := s.exec.(FaultReporter); ok {
+		fs := fr.FaultStats()
+		st.Faults = &fs
 	}
 	return st
 }
@@ -234,7 +304,10 @@ func (s *BatchServer) Close() {
 	}
 }
 
-// worker coalesces and executes batches until the server closes.
+// worker coalesces and executes batches until the server closes.  A panic
+// escaping the runner (contained panics surface as *PanicError already) is
+// recovered here as a last line of defence: it fails the batch, never the
+// worker or the process.
 func (s *BatchServer) worker() {
 	defer s.wg.Done()
 	inBatch := tensor.New(s.prog.InputShape(), tensor.NCHW)
@@ -264,7 +337,21 @@ func (s *BatchServer) worker() {
 				}
 				stopTimer(timer)
 			}
-			s.serveBatch(inBatch, outBatch, batch)
+			// Drop requests whose context died while they queued: their
+			// callers are already gone, so spending a batch slot on them
+			// would only delay live requests.
+			live := batch[:0]
+			for _, r := range batch {
+				if err := r.ctx.Err(); err != nil {
+					s.expired.Add(1)
+					r.resp <- response{err: err}
+					continue
+				}
+				live = append(live, r)
+			}
+			if len(live) > 0 {
+				s.serveBatch(inBatch, outBatch, live)
+			}
 		}
 	}
 }
@@ -277,6 +364,24 @@ func stopTimer(t *time.Timer) {
 		default:
 		}
 	}
+}
+
+// batchContext derives the context one coalesced execution runs under: no
+// deadline when any request is deadline-free, otherwise the latest deadline
+// across the batch — the execution serves every request in it, so it may
+// only be abandoned once all of them are past saving.
+func batchContext(batch []*request) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, r := range batch {
+		d, ok := r.ctx.Deadline()
+		if !ok {
+			return context.Background(), func() {}
+		}
+		if d.After(latest) {
+			latest = d
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
 }
 
 // serveBatch packs the requests into the staging batch, runs the planned
@@ -292,7 +397,22 @@ func (s *BatchServer) serveBatch(inBatch, outBatch *tensor.Tensor, batch []*requ
 	// overflow to Inf/NaN inside its own image; zeros keep every run tame).
 	clear(inBatch.Data[len(batch)*chw:])
 
-	err := s.exec.RunInto(inBatch, outBatch)
+	runCtx, cancel := batchContext(batch)
+	start := time.Now()
+	err := func() (err error) {
+		defer containPanic("server batch", &err)
+		return s.exec.RunIntoCtx(runCtx, inBatch, outBatch)
+	}()
+	cancel()
+	if err == nil {
+		// Feed the admission-control estimate from successful batches only;
+		// failed ones (faults, cancellations) do not measure capacity.
+		e := time.Since(start).Nanoseconds()
+		if old := s.batchNS.Load(); old > 0 {
+			e = (3*old + e) / 4
+		}
+		s.batchNS.Store(e)
+	}
 	s.batches.Add(1)
 	s.requests.Add(uint64(len(batch)))
 	for {
