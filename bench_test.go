@@ -348,21 +348,27 @@ func BenchmarkInference(b *testing.B) {
 	})
 }
 
-// BenchmarkConvAlgorithms compares the two production convolution strategies
-// of the planned runtime — direct and im2col+GEMM — across layer shapes from
-// both of the paper's regimes, and reports which one the compile-time
-// selector picks (selects_gemm metric).  The GEMM path must win clearly on
-// the VGG/AlexNet-scale shapes while the direct path keeps tiny single-image
-// layers cheap; both run allocation-free into pre-sized buffers, exactly as
-// the executor drives them.
+// BenchmarkConvAlgorithms compares the three production convolution
+// strategies of the planned runtime — direct, im2col+GEMM and FFT — across
+// layer shapes from the paper's regimes, and reports which one the
+// compile-time selector picks (selected metric).  The GEMM path must win
+// clearly on the VGG/AlexNet-scale shapes, the direct path keeps tiny
+// single-image layers cheap, and the FFT path takes the large-filter stride-1
+// AlexNet conv2 shape; all three run allocation-free into pre-sized buffers,
+// exactly as the executor drives them.
 func BenchmarkConvAlgorithms(b *testing.B) {
 	shapes := []struct {
 		name string
 		cfg  kernels.ConvConfig
+		// skipDirect drops the direct sub-benchmark on shapes where the naive
+		// kernel needs minutes per iteration; it is never the selected path
+		// there, so the smoke run loses nothing.
+		skipDirect bool
 	}{
-		{"1img-small", kernels.ConvConfig{N: 1, C: 3, H: 16, W: 16, K: 8, FH: 3, FW: 3, PadH: 1, PadW: 1}},
-		{"cifar-conv2", kernels.ConvConfig{N: 32, C: 64, H: 12, W: 12, K: 64, FH: 5, FW: 5, PadH: 2, PadW: 2}},
-		{"vgg-conv3_1", kernels.ConvConfig{N: 2, C: 128, H: 28, W: 28, K: 256, FH: 3, FW: 3, PadH: 1, PadW: 1}},
+		{name: "1img-small", cfg: kernels.ConvConfig{N: 1, C: 3, H: 16, W: 16, K: 8, FH: 3, FW: 3, PadH: 1, PadW: 1}},
+		{name: "cifar-conv2", cfg: kernels.ConvConfig{N: 32, C: 64, H: 12, W: 12, K: 64, FH: 5, FW: 5, PadH: 2, PadW: 2}},
+		{name: "vgg-conv3_1", cfg: kernels.ConvConfig{N: 2, C: 128, H: 28, W: 28, K: 256, FH: 3, FW: 3, PadH: 1, PadW: 1}},
+		{name: "alexnet-conv2@n32", cfg: kernels.ConvConfig{N: 32, C: 96, H: 27, W: 27, K: 256, FH: 5, FW: 5, PadH: 2, PadW: 2}, skipDirect: true},
 	}
 	for _, s := range shapes {
 		cfg := s.cfg
@@ -374,19 +380,22 @@ func BenchmarkConvAlgorithms(b *testing.B) {
 			b.Fatal(err)
 		}
 		scratch := make([]float32, kernels.ConvGemmWorkspaceElems(cfg, tensor.NCHW))
+		fftScratch := make([]float32, kernels.ConvFFTWorkspaceElems(cfg))
 		gflop := cfg.FLOPs() / 1e9
 		selected := autotune.SelectConvAlgorithm(cfg)
 
-		b.Run(s.name+"/direct", func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if err := kernels.ConvDirectInto(in, filters, out, cfg); err != nil {
-					b.Fatal(err)
+		if !s.skipDirect {
+			b.Run(s.name+"/direct", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := kernels.ConvDirectInto(in, filters, out, cfg); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-			b.ReportMetric(gflop*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
-			b.ReportMetric(boolMetric(selected == kernels.ConvAlgDirect), "selected")
-		})
+				b.ReportMetric(gflop*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+				b.ReportMetric(boolMetric(selected == kernels.ConvAlgDirect), "selected")
+			})
+		}
 		b.Run(s.name+"/gemm", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -396,6 +405,16 @@ func BenchmarkConvAlgorithms(b *testing.B) {
 			}
 			b.ReportMetric(gflop*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
 			b.ReportMetric(boolMetric(selected == kernels.ConvAlgGemm), "selected")
+		})
+		b.Run(s.name+"/fft", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := kernels.ConvFFTInto(in, filters, out, cfg, fftScratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(gflop*float64(b.N)/b.Elapsed().Seconds(), "GFLOP/s")
+			b.ReportMetric(boolMetric(selected == kernels.ConvAlgFFT), "selected")
 		})
 	}
 }

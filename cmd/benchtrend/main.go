@@ -40,6 +40,7 @@ type record struct {
 	ServeShed      uint64  `json:"serve_shed"`
 	ServeFailovers uint64  `json:"serve_failovers"`
 	ChaosMismatch  int     `json:"chaos_mismatches"`
+	FFTLayers      int     `json:"fft_layers"`
 }
 
 func main() {
@@ -118,6 +119,20 @@ func main() {
 			if c.n > 0 {
 				fmt.Printf("%-10s %-13s %d in un-faulted run  REGRESSION\n", name, c.label, c.n)
 				regressions++
+			}
+		}
+		// The joint sweep's FFT placements are deterministic compiler output:
+		// fewer frequency-domain layers than the baseline means a selection
+		// regression (threshold drift, a broken cost model) silently moved
+		// layers back to the spatial path.
+		if base.FFTLayers > 0 {
+			checked++
+			if cur.FFTLayers < base.FFTLayers {
+				fmt.Printf("%-10s %-13s %d -> %d layers  REGRESSION: FFT convolutions fell off the selected path\n",
+					name, "fft_layers", base.FFTLayers, cur.FFTLayers)
+				regressions++
+			} else {
+				fmt.Printf("%-10s %-13s %d -> %d layers  ok\n", name, "fft_layers", base.FFTLayers, cur.FFTLayers)
 			}
 		}
 		if base.PeakBytes > 0 && cur.PeakBytes > base.PeakBytes {

@@ -4,9 +4,16 @@
 // use to understand what the automatic layout support is doing to their
 // model (Section IV.D).
 //
+// The -algs flag adds the joint (layout, algorithm) sweep per convolution
+// layer: every production algorithm priced in its natural layout — including
+// the layout-switch charge from the planner's layout — through the same
+// internal/layout candidate rows the compiler decides from, so the tool and
+// CompileWithOptions can never disagree.
+//
 // Usage:
 //
 //	layoutplan -network AlexNet
+//	layoutplan -network AlexNet -algs
 //	layoutplan -network VGG -device titanx -thresholds calibrated
 package main
 
@@ -16,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"memcnn/internal/autotune"
 	"memcnn/internal/core"
 	"memcnn/internal/gpusim"
 	"memcnn/internal/layers"
@@ -32,6 +40,7 @@ func main() {
 		annotate    = flag.Bool("annotate", false, "with -config: print the configuration re-annotated with the chosen layouts")
 		deviceName  = flag.String("device", "titanblack", "GPU model: titanblack or titanx")
 		thresholds  = flag.String("thresholds", "paper", "layout thresholds: 'paper' or 'calibrated'")
+		algSweep    = flag.Bool("algs", false, "print the compiler's joint (layout, algorithm) sweep per convolution layer")
 	)
 	flag.Parse()
 
@@ -105,6 +114,10 @@ func main() {
 	fmt.Printf("\ntotal: %.0f us (%.0f us, %.1f%% spent in %d layout transformations)\n",
 		est.TotalUS, est.TransformUS, 100*est.TransformUS/est.TotalUS, plan.TransformCount())
 
+	if *algSweep {
+		printAlgSweep(dev, plan)
+	}
+
 	if spec != nil && *annotate {
 		spec.Annotate(plan)
 		data, err := spec.Marshal()
@@ -113,6 +126,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nannotated configuration:\n%s\n", data)
+	}
+}
+
+// printAlgSweep prints, for every convolution layer, the priced candidate
+// rows of the compiler's joint sweep (layout.ConvAlgCandidates) and the
+// decision CompileWithOptions would take (layout.JointConvChoice over the
+// autotune heuristic's base algorithm).  Both come from internal/layout, so
+// the printed numbers are exactly the compiler's.
+func printAlgSweep(dev *gpusim.Device, plan *network.ExecutionPlan) {
+	fmt.Printf("\njoint (layout, algorithm) sweep:\n")
+	fmt.Printf("%-12s %-14s %-6s %12s %14s %s\n", "layer", "algorithm", "layout", "kernel (us)", "switch (us)", "")
+	for _, pl := range plan.Layers {
+		conv, ok := pl.Layer.(*layers.Conv)
+		if !ok {
+			continue
+		}
+		cfg := conv.Config()
+		base := autotune.SelectConvAlgorithm(cfg)
+		choice := layout.JointConvChoice(dev, cfg, pl.Layout, base)
+		for _, cand := range layout.ConvAlgCandidates(dev, cfg, pl.Layout) {
+			mark := ""
+			if cand.Alg == choice.Alg && cand.Layout == choice.Layout {
+				mark = "<- chosen"
+			} else if cand.Alg == base {
+				mark = "(heuristic base)"
+			}
+			timing := fmt.Sprintf("%12.1f %14.1f", cand.TimeUS, cand.TransformUS)
+			if cand.OOM {
+				timing = fmt.Sprintf("%12s %14.1f", "OOM", cand.TransformUS)
+			}
+			fmt.Printf("%-12s %-14s %-6s %s %s\n", conv.Name(), cand.Alg, cand.Layout, timing, mark)
+		}
 	}
 }
 

@@ -104,7 +104,7 @@ func main() {
 		mib(prog.Mem.PeakBytes()), mib(prog.NaiveBytes()), 100*prog.Savings())
 	if *selectAlgs {
 		for _, ch := range prog.ConvChoices() {
-			fmt.Printf("conv %-12s %s\n", ch.Layer, ch.Alg)
+			fmt.Printf("conv %-12s %-5s %s\n", ch.Layer, ch.Layout, ch.Alg)
 		}
 	}
 

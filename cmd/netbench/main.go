@@ -3,9 +3,10 @@
 // library policy (the Fig. 15 view for AlexNet).
 //
 // The -runtime flag switches to the planned-execution view: every network is
-// compiled through internal/runtime — with per-layer convolution algorithm
-// selection (direct vs im2col+GEMM) unless -select=false — and its static
-// memory plan plus the chosen algorithm per convolution layer is reported;
+// compiled through internal/runtime — with joint per-layer (layout,
+// convolution algorithm) selection over direct, im2col+GEMM and FFT unless
+// -select=false — and its static memory plan plus the chosen layout and
+// algorithm per convolution layer is reported;
 // -exec additionally executes the compiled programs functionally on the CPU
 // and compares naive, direct-only and algorithm-selected throughput.  -json
 // writes the per-network results as machine-readable records (the BENCH_*.json
@@ -52,6 +53,7 @@ import (
 	"memcnn/internal/bench"
 	"memcnn/internal/frameworks"
 	"memcnn/internal/gpusim"
+	"memcnn/internal/kernels"
 	"memcnn/internal/layers"
 	"memcnn/internal/layout"
 	"memcnn/internal/network"
@@ -70,8 +72,8 @@ func main() {
 		detail      = flag.Bool("detail", false, "print the per-layer breakdown for each planner")
 		runtimeView = flag.Bool("runtime", false, "compile each network with internal/runtime and report its static memory plan")
 		execute     = flag.Bool("exec", false, "with -runtime: execute the compiled programs and measure imgs/sec (small networks only unless -network selects one)")
-		selectAlgs  = flag.Bool("select", true, "with -runtime: select the convolution algorithm per layer (direct vs im2col+GEMM)")
-		probe       = flag.Bool("probe", false, "with -runtime -select: pick each conv algorithm by timing both kernels instead of the analytic heuristic")
+		selectAlgs  = flag.Bool("select", true, "with -runtime: select the convolution layout and algorithm per layer (direct, im2col+GEMM or FFT)")
+		probe       = flag.Bool("probe", false, "with -runtime -select: pick each conv algorithm by timing every production kernel instead of the analytic heuristic")
 		devices     = flag.Int("devices", 1, "with -runtime: shard each program across N simulated devices and report the per-stage breakdown")
 		replicas    = flag.Int("replicas", 1, "with -runtime: replicate each program across N devices and report the throughput-weighted batch split")
 		replicaDevs = flag.String("replica-devices", "", "with -replicas: comma-separated replica hardware (titanblack, titanx or cpu), cycled; default titanblack")
@@ -164,10 +166,12 @@ func main() {
 	}
 }
 
-// convChoiceJSON is the machine-readable record of one conv op's algorithm.
+// convChoiceJSON is the machine-readable record of one conv op's joint
+// (layout, algorithm) choice.
 type convChoiceJSON struct {
 	Layer          string `json:"layer"`
 	Algorithm      string `json:"algorithm"`
+	Layout         string `json:"layout"`
 	WorkspaceBytes int64  `json:"workspace_bytes,omitempty"`
 }
 
@@ -207,6 +211,9 @@ type netReport struct {
 	ScratchBytes   int64            `json:"scratch_bytes"`
 	SavedFraction  float64          `json:"saved_fraction"`
 	ConvAlgorithms []convChoiceJSON `json:"conv_algorithms,omitempty"`
+	// FFTLayers counts the convolution layers the joint sweep placed on the
+	// frequency-domain path; benchtrend gates it against silent regressions.
+	FFTLayers int `json:"fft_layers,omitempty"`
 
 	// Sharding stats, present with -devices > 1.
 	Devices         int         `json:"devices,omitempty"`
@@ -334,10 +341,14 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 		}
 		for _, ch := range prog.ConvChoices() {
 			rep.ConvAlgorithms = append(rep.ConvAlgorithms, convChoiceJSON{
-				Layer: ch.Layer, Algorithm: ch.Alg.String(), WorkspaceBytes: ch.WorkspaceBytes,
+				Layer: ch.Layer, Algorithm: ch.Alg.String(), Layout: ch.Layout.String(),
+				WorkspaceBytes: ch.WorkspaceBytes,
 			})
+			if ch.Alg == kernels.ConvAlgFFT {
+				rep.FFTLayers++
+			}
 			if opts.ConvAlgorithms {
-				line := fmt.Sprintf("         conv %-12s %s", ch.Layer, ch.Alg)
+				line := fmt.Sprintf("         conv %-12s %-5s %s", ch.Layer, ch.Layout, ch.Alg)
 				if ch.WorkspaceBytes > 0 {
 					line += fmt.Sprintf(" (workspace %.2f MiB)", float64(ch.WorkspaceBytes)/(1<<20))
 				}

@@ -14,14 +14,20 @@
 // layout-transform ops, zero-copy reshape views), the buffers are packed into
 // a single arena by a liveness-driven static memory plan, and the compiled
 // program runs on recycled arena instances with no steady-state tensor
-// allocation.  The compiler additionally selects a convolution algorithm per
-// layer — direct or im2col+GEMM, by the paper's merged-matrix-dimension
-// argument (internal/autotune) or a measured probe — pre-packs the filter
-// banks into flat GEMM operands, and plans every kernel workspace
-// (convolution unroll matrices, fully-connected flatten staging, softmax
-// logits) into the arena as op-local buffers.  Layers that declare in-place
-// safety (ReLU) alias their output onto their input, shrinking the arena
-// further.
+// allocation.  The compiler additionally makes a joint per-layer (layout,
+// convolution algorithm) decision over three production strategies — direct,
+// im2col+GEMM and FFT: internal/autotune's analytic regimes (the paper's
+// merged-matrix-dimension argument, plus a large-filter stride-1 FFT regime)
+// or a measured probe pick a base algorithm, and internal/layout re-prices it
+// against the frequency-domain mode on the plan's device model, charging the
+// layout switch into the FFT kernels' NCHW home and respecting the emulated
+// cuDNN workspace's device-memory limit, so a layer's layout can flip
+// together with its algorithm (the paper's core joint-choice thesis).  The
+// compiler pre-packs the filter banks into flat GEMM operands and plans every
+// kernel workspace (convolution unroll matrices, FFT spectrum planes,
+// fully-connected flatten staging, softmax logits) into the arena as op-local
+// buffers.  Layers that declare in-place safety (ReLU) alias their output
+// onto their input, shrinking the arena further.
 //
 // The execution stack is device-abstracted: ops run through a runtime.Device
 // — the native CPU, or a simulated GPU that computes real results while

@@ -12,9 +12,12 @@ import (
 // shapes (Section II.B / IV.A).  The im2col+GEMM path inherits matrix
 // multiplication's robustness but pays the unroll traffic, so it only wins
 // once the merged matrix dimensions are large; the direct path has no
-// transformation overhead and keeps small shapes cheap.  The planned runtime
-// (internal/runtime) asks this package which strategy each compiled conv op
-// should record, either through the analytic heuristic or a measured probe.
+// transformation overhead and keeps small shapes cheap; the FFT path turns
+// the spatial reduction into pointwise spectrum products, so it wins on big
+// stride-1 layers with large filters and loses everywhere the transforms
+// dominate.  The planned runtime (internal/runtime) asks this package which
+// strategy each compiled conv op should record, either through the analytic
+// heuristic or a measured probe.
 
 // Thresholds of the analytic heuristic.  They mirror the paper's
 // matrix-expansion argument: the GEMM reduction dimension is C·FH·FW, and the
@@ -31,55 +34,98 @@ const (
 	// a tiny layer (one small image, few filters) finishes faster in the
 	// transformation-free direct kernel than the unroll machinery can start.
 	GemmMinFMAs = 1 << 20
+	// FFTMinArea is the minimum FH·FW for the FFT path.  Frequency-domain
+	// convolution amortises its transforms over the filter area (the spectrum
+	// product costs the same for a 3×3 as for an 11×11 filter), so it only
+	// beats GEMM once the filters are large — 5×5 and up, the AlexNet
+	// conv2 / ZFNet 7×7 regime of Section IV.A.  Every 3×3 VGG-style layer
+	// stays on GEMM.
+	FFTMinArea = 25
+	// FFTMinFMAs is the minimum multiply-add volume for the FFT path.  The
+	// K·C filter transforms are a fixed cost independent of the batch, so the
+	// layer needs serious arithmetic volume before they amortise; small nets
+	// (LeNet/Cifar10-scale 5×5 layers) stay on direct or GEMM.
+	FFTMinFMAs = 1 << 33
 )
 
 // SelectConvAlgorithm picks the CPU convolution strategy for a layer shape
-// with the analytic merged-matrix heuristic.
+// with the analytic merged-matrix heuristic.  The FFT regime is keyed on
+// filter size and stride: frequency-domain convolution computes the dense
+// stride-1 correlation, so any stride over one throws most of that work away
+// and FFT is never chosen for it.
 func SelectConvAlgorithm(cfg kernels.ConvConfig) kernels.ConvAlgorithm {
 	if err := cfg.Validate(); err != nil {
 		return kernels.ConvAlgDirect
 	}
 	red := cfg.ReductionLength()
 	fmas := cfg.FLOPs() / 2
+	sh, sw := cfg.StrideH, cfg.StrideW
+	if sh == 0 {
+		sh = 1
+	}
+	if sw == 0 {
+		sw = 1
+	}
+	if sh == 1 && sw == 1 && cfg.FH*cfg.FW >= FFTMinArea && fmas >= FFTMinFMAs {
+		return kernels.ConvAlgFFT
+	}
 	if red >= GemmMinReduction && fmas >= GemmMinFMAs {
 		return kernels.ConvAlgGemm
 	}
 	return kernels.ConvAlgDirect
 }
 
+// ProbeTiming is one measured probe execution: the algorithm and its wall
+// time.
+type ProbeTiming struct {
+	Alg  kernels.ConvAlgorithm
+	Time time.Duration
+}
+
 // ProbeConvAlgorithm selects the strategy by measurement instead of the
-// heuristic: it runs both kernels once on a deterministic random input in the
-// given layout and returns the faster one together with the two measured
-// times (direct first).  It is the compile-time "measured probe" mode; each
-// probe costs two full executions of the layer.
-func ProbeConvAlgorithm(cfg kernels.ConvConfig, layout tensor.Layout) (kernels.ConvAlgorithm, [2]time.Duration, error) {
-	var times [2]time.Duration
+// heuristic: it runs every production kernel — direct, im2col+GEMM and FFT —
+// once on a deterministic random input in the given layout and returns the
+// fastest one together with the per-algorithm timings, in the order probed.
+// It is the compile-time "measured probe" mode; each probe costs one full
+// execution of the layer per algorithm.
+func ProbeConvAlgorithm(cfg kernels.ConvConfig, layout tensor.Layout) (kernels.ConvAlgorithm, []ProbeTiming, error) {
 	if err := cfg.Validate(); err != nil {
-		return kernels.ConvAlgDirect, times, err
+		return kernels.ConvAlgDirect, nil, err
 	}
 	in := tensor.Random(cfg.InputShape(), layout, 1)
 	filters := tensor.Filters(cfg.K, cfg.C, cfg.FH, cfg.FW, 2)
 	out := tensor.New(cfg.OutputShape(), layout)
+	timings := make([]ProbeTiming, 0, 3)
 
 	start := time.Now()
 	if err := kernels.ConvDirectInto(in, filters, out, cfg); err != nil {
-		return kernels.ConvAlgDirect, times, err
+		return kernels.ConvAlgDirect, timings, err
 	}
-	times[0] = time.Since(start)
+	timings = append(timings, ProbeTiming{kernels.ConvAlgDirect, time.Since(start)})
 
 	packed, err := kernels.PackConvFilters(filters, cfg)
 	if err != nil {
-		return kernels.ConvAlgDirect, times, err
+		return kernels.ConvAlgDirect, timings, err
 	}
 	scratch := make([]float32, kernels.ConvGemmWorkspaceElems(cfg, layout))
 	start = time.Now()
 	if err := kernels.ConvIm2colGemmInto(in, packed, out, cfg, scratch); err != nil {
-		return kernels.ConvAlgDirect, times, err
+		return kernels.ConvAlgDirect, timings, err
 	}
-	times[1] = time.Since(start)
+	timings = append(timings, ProbeTiming{kernels.ConvAlgGemm, time.Since(start)})
 
-	if times[1] < times[0] {
-		return kernels.ConvAlgGemm, times, nil
+	fftScratch := make([]float32, kernels.ConvFFTWorkspaceElems(cfg))
+	start = time.Now()
+	if err := kernels.ConvFFTInto(in, filters, out, cfg, fftScratch); err != nil {
+		return kernels.ConvAlgDirect, timings, err
 	}
-	return kernels.ConvAlgDirect, times, nil
+	timings = append(timings, ProbeTiming{kernels.ConvAlgFFT, time.Since(start)})
+
+	best := timings[0]
+	for _, t := range timings[1:] {
+		if t.Time < best.Time {
+			best = t
+		}
+	}
+	return best.Alg, timings, nil
 }

@@ -45,19 +45,67 @@ func TestSelectConvAlgorithm(t *testing.T) {
 	}
 }
 
+// TestSelectConvAlgorithmFFTRegime pins the FFT thresholds of Section IV.A:
+// big stride-1 layers with large filters go to FFT, 3×3 layers and any
+// strided layer never do.
+func TestSelectConvAlgorithmFFTRegime(t *testing.T) {
+	// AlexNet conv2 at the full serving batch: 5×5 stride-1, 28.7G FMAs.
+	alexConv2 := kernels.ConvConfig{N: 64, C: 96, H: 27, W: 27, K: 256, FH: 5, FW: 5, PadH: 2, PadW: 2}
+	if got := SelectConvAlgorithm(alexConv2); got != kernels.ConvAlgFFT {
+		t.Errorf("AlexNet conv2 shape selected %v, want fft", got)
+	}
+	// The same arithmetic volume at stride 2 throws away 3/4 of the dense
+	// correlation: never FFT.  (Quadruple the batch so the FMA volume still
+	// clears the FFT floor — the stride must be what disqualifies it.)
+	strided := kernels.ConvConfig{N: 256, C: 96, H: 27, W: 27, K: 256, FH: 5, FW: 5, PadH: 2, PadW: 2, StrideH: 2, StrideW: 2}
+	if got := SelectConvAlgorithm(strided); got == kernels.ConvAlgFFT {
+		t.Errorf("stride-2 shape selected fft; stride > 1 must never pick fft")
+	}
+	// AlexNet conv1: 11×11 but stride 4 — the large filter alone does not
+	// qualify it.
+	alexConv1 := kernels.ConvConfig{N: 64, C: 3, H: 227, W: 227, K: 96, FH: 11, FW: 11, StrideH: 4, StrideW: 4}
+	if got := SelectConvAlgorithm(alexConv1); got == kernels.ConvAlgFFT {
+		t.Errorf("AlexNet conv1 (stride 4) selected fft, want a spatial algorithm")
+	}
+	// VGG conv3_1: huge volume but 3×3 filters — stays GEMM.
+	vgg := kernels.ConvConfig{N: 32, C: 128, H: 56, W: 56, K: 256, FH: 3, FW: 3, PadH: 1, PadW: 1}
+	if got := SelectConvAlgorithm(vgg); got != kernels.ConvAlgGemm {
+		t.Errorf("VGG 3x3 shape selected %v, want gemm", got)
+	}
+	// Cifar10 conv2: 5×5 stride-1 but only 1.3G FMAs — under the FFT volume
+	// floor, stays GEMM.
+	cifar2 := kernels.ConvConfig{N: 128, C: 64, H: 16, W: 16, K: 64, FH: 5, FW: 5, PadH: 2, PadW: 2}
+	if got := SelectConvAlgorithm(cifar2); got != kernels.ConvAlgGemm {
+		t.Errorf("Cifar10 conv2 shape selected %v, want gemm", got)
+	}
+}
+
 // TestProbeConvAlgorithm runs the measured probe on a small layer and checks
-// it returns a decision backed by two positive timings.
+// it returns a decision backed by a positive timing per production algorithm.
 func TestProbeConvAlgorithm(t *testing.T) {
 	cfg := kernels.ConvConfig{N: 4, C: 8, H: 10, W: 10, K: 8, FH: 3, FW: 3, PadH: 1, PadW: 1}
 	alg, times, err := ProbeConvAlgorithm(cfg, tensor.NCHW)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if alg != kernels.ConvAlgDirect && alg != kernels.ConvAlgGemm {
-		t.Errorf("probe returned unknown algorithm %v", alg)
+	if len(times) != 3 {
+		t.Fatalf("probe returned %d timings, want one per algorithm (3)", len(times))
 	}
-	if times[0] <= 0 || times[1] <= 0 {
-		t.Errorf("probe timings must be positive, got %v", times)
+	want := []kernels.ConvAlgorithm{kernels.ConvAlgDirect, kernels.ConvAlgGemm, kernels.ConvAlgFFT}
+	best := times[0]
+	for i, pt := range times {
+		if pt.Alg != want[i] {
+			t.Errorf("timing %d is for %v, want %v", i, pt.Alg, want[i])
+		}
+		if pt.Time <= 0 {
+			t.Errorf("probe timing for %v must be positive, got %v", pt.Alg, pt.Time)
+		}
+		if pt.Time < best.Time {
+			best = pt
+		}
+	}
+	if alg != best.Alg {
+		t.Errorf("probe selected %v but fastest timing was %v", alg, best.Alg)
 	}
 	if _, _, err := ProbeConvAlgorithm(kernels.ConvConfig{}, tensor.NCHW); err == nil {
 		t.Error("invalid config must be rejected")

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"memcnn/internal/fft"
 	"memcnn/internal/gpusim"
@@ -55,135 +56,224 @@ const (
 	fftPointwiseMaxEff = 0.45
 )
 
-// ConvFFT is the functional reference for the FFT convolution path: image and
-// filter spectra are computed once, multiplied per (image, output-channel)
-// pair with accumulation over input channels, and transformed back.  Strides
-// larger than one are applied by subsampling the stride-1 result, as the
-// frequency-domain method computes the dense correlation anyway.
+// fftMaxWorkers caps the image-stage parallelism of ConvFFTInto.  The
+// workspace carries one private block of channel spectra plus an accumulator
+// per worker, so the cap keeps ConvFFTWorkspaceElems a pure function of the
+// layer shape — the compiler sizes the arena scratch once, independent of the
+// GOMAXPROCS the program later runs under.
+const fftMaxWorkers = 8
+
+// fftProductionPad returns the transform edge the production kernel actually
+// uses: the next power of two of the padded input.  That is always enough for
+// a valid correlation — every needed output row ih = oh·stride satisfies
+// ih + FH - 1 ≤ padH - 1 ≤ pR - 1, so circular wraparound never reaches a
+// sampled element.  The modeled-cost side (fftPadSize, FFTWorkspaceBytes)
+// deliberately keeps the more conservative padH+FH-1 sizing of the emulated
+// cuDNN v4 mode: the paper's memory-overhead story (and its 6 GB OOM
+// failures) describe that implementation, not this leaner kernel.
+func fftProductionPad(cfg ConvConfig) (pR, pC int) {
+	cfg = cfg.withDefaults()
+	return fft.NextPow2(cfg.H + 2*cfg.PadH), fft.NextPow2(cfg.W + 2*cfg.PadW)
+}
+
+// fftWorkerCount returns the number of image-stage workers ConvFFTInto uses:
+// GOMAXPROCS capped by the batch size and by the workspace's fftMaxWorkers
+// blocks.
+func fftWorkerCount(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w > fftMaxWorkers {
+		w = fftMaxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ConvFFTWorkspaceElems returns the scratch ConvFFTInto needs, in float32
+// elements: split re/im spectra for all K·C filters, plus one private block
+// per worker holding the current image's C channel spectra and the
+// accumulator plane.  The worker count is min(N, fftMaxWorkers), so the size
+// depends only on the layer shape.
+func ConvFFTWorkspaceElems(cfg ConvConfig) int {
+	cfg = cfg.withDefaults()
+	pR, pC := fftProductionPad(cfg)
+	workers := cfg.N
+	if workers > fftMaxWorkers {
+		workers = fftMaxWorkers
+	}
+	return 2 * pR * pC * (cfg.K*cfg.C + workers*(cfg.C+1))
+}
+
+// ConvFFTInto is the allocation-free production form of the FFT convolution:
+// filter and image spectra are computed in the caller-provided scratch (at
+// least ConvFFTWorkspaceElems(cfg) elements, contents unspecified on entry),
+// multiplied per (image, output-channel) pair with accumulation over input
+// channels in ascending order, and transformed back.  Strides larger than one
+// subsample the dense correlation.  Any input and output layouts are
+// accepted; the accumulation order is fixed, so results are bit-identical
+// across layouts, batch splits and worker counts.  With a single worker the
+// kernel performs no heap allocation at all.
+func ConvFFTInto(in, filters, out *tensor.Tensor, cfg ConvConfig, scratch []float32) error {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if in.Shape != cfg.InputShape() {
+		return fmt.Errorf("kernels: conv input shape %v does not match config %v", in.Shape, cfg.InputShape())
+	}
+	if filters.Shape != cfg.FilterShape() {
+		return fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
+	}
+	if out.Shape != cfg.OutputShape() {
+		return fmt.Errorf("kernels: conv output shape %v does not match config %v", out.Shape, cfg.OutputShape())
+	}
+	if need := ConvFFTWorkspaceElems(cfg); len(scratch) < need {
+		return fmt.Errorf("kernels: fft conv scratch has %d elements, want at least %d", len(scratch), need)
+	}
+	pR, pC := fftProductionPad(cfg)
+	pts := pR * pC
+	filtArea := scratch[:cfg.K*cfg.C*2*pts]
+	workArea := scratch[cfg.K*cfg.C*2*pts:]
+	perWorker := (cfg.C + 1) * 2 * pts
+	workers := fftWorkerCount(cfg.N)
+	if workers <= 1 {
+		// Serial path: plain calls, no closures, zero allocations.
+		for idx := 0; idx < cfg.K*cfg.C; idx++ {
+			convFFTFilterBlock(filters, cfg, idx, filtArea, pR, pC)
+		}
+		for n := 0; n < cfg.N; n++ {
+			convFFTImage(in, out, cfg, n, workArea[:perWorker], filtArea, pR, pC)
+		}
+		return nil
+	}
+	fftParallel(workers, cfg.K*cfg.C, func(idx, _ int) {
+		convFFTFilterBlock(filters, cfg, idx, filtArea, pR, pC)
+	})
+	fftParallel(workers, cfg.N, func(n, w int) {
+		convFFTImage(in, out, cfg, n, workArea[w*perWorker:(w+1)*perWorker], filtArea, pR, pC)
+	})
+	return nil
+}
+
+// fftParallel runs f(job, worker) for job in [0, jobs) on `workers`
+// goroutines pulling jobs from an atomic counter.  Each job index runs
+// exactly once and each worker index is private to one goroutine.
+func fftParallel(workers, jobs int, f func(job, worker int)) {
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				job := int(atomic.AddInt64(&next, 1)) - 1
+				if job >= jobs {
+					return
+				}
+				f(job, w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// convFFTFilterBlock fills filter spectrum idx = k·C + c: the FH×FW filter
+// tap block is zero-padded into the pR×pC plane pair at filtArea[idx·2·pts]
+// (re plane first, then im) and transformed forward in place.
+func convFFTFilterBlock(filters *tensor.Tensor, cfg ConvConfig, idx int, filtArea []float32, pR, pC int) {
+	pts := pR * pC
+	k, c := idx/cfg.C, idx%cfg.C
+	re := filtArea[idx*2*pts : idx*2*pts+pts]
+	im := filtArea[idx*2*pts+pts : (idx+1)*2*pts]
+	for i := range re {
+		re[i] = 0
+	}
+	for i := range im {
+		im[i] = 0
+	}
+	for fh := 0; fh < cfg.FH; fh++ {
+		row := re[fh*pC:]
+		for fw := 0; fw < cfg.FW; fw++ {
+			row[fw] = filters.At(k, c, fh, fw)
+		}
+	}
+	// Sizes are powers of two and the planes exact, so the transform cannot
+	// fail (validated by ConvFFTInto up front).
+	_ = fft.Forward2DSplit(re, im, pR, pC)
+}
+
+// convFFTImage convolves image n: its C channel spectra are transformed once
+// into the worker's private block, then for each output channel the
+// channel-ascending spectrum products accumulate into the block's last plane
+// pair, which is inverse-transformed and subsampled into the output.
+func convFFTImage(in, out *tensor.Tensor, cfg ConvConfig, n int, block, filtArea []float32, pR, pC int) {
+	pts := pR * pC
+	sn, sc, sh, sw := in.Shape.Strides(in.Layout)
+	for c := 0; c < cfg.C; c++ {
+		re := block[c*2*pts : c*2*pts+pts]
+		im := block[c*2*pts+pts : (c+1)*2*pts]
+		for i := range re {
+			re[i] = 0
+		}
+		for i := range im {
+			im[i] = 0
+		}
+		base := n*sn + c*sc
+		for h := 0; h < cfg.H; h++ {
+			row := re[(h+cfg.PadH)*pC+cfg.PadW:]
+			off := base + h*sh
+			for x := 0; x < cfg.W; x++ {
+				row[x] = in.Data[off+x*sw]
+			}
+		}
+		_ = fft.Forward2DSplit(re, im, pR, pC)
+	}
+	accRe := block[cfg.C*2*pts : cfg.C*2*pts+pts]
+	accIm := block[cfg.C*2*pts+pts : (cfg.C+1)*2*pts]
+	outH, outW := cfg.OutH(), cfg.OutW()
+	on, oc, ohs, ows := out.Shape.Strides(out.Layout)
+	for k := 0; k < cfg.K; k++ {
+		for i := range accRe {
+			accRe[i] = 0
+		}
+		for i := range accIm {
+			accIm[i] = 0
+		}
+		for c := 0; c < cfg.C; c++ {
+			fbase := (k*cfg.C + c) * 2 * pts
+			fft.SpectrumCorrelateSplit(accRe, accIm,
+				block[c*2*pts:c*2*pts+pts], block[c*2*pts+pts:(c+1)*2*pts],
+				filtArea[fbase:fbase+pts], filtArea[fbase+pts:fbase+2*pts])
+		}
+		_ = fft.Inverse2DSplit(accRe, accIm, pR, pC)
+		obase := n*on + k*oc
+		for oh := 0; oh < outH; oh++ {
+			ih := oh * cfg.StrideH
+			off := obase + oh*ohs
+			src := accRe[ih*pC:]
+			for ow := 0; ow < outW; ow++ {
+				out.Data[off+ow*ows] = src[ow*cfg.StrideW]
+			}
+		}
+	}
+}
+
+// ConvFFT is the functional (allocating) reference for the FFT convolution
+// path.  It allocates the output and workspace and delegates to ConvFFTInto,
+// so its results are bit-identical to the planned runtime's FFT path.
 func ConvFFT(in, filters *tensor.Tensor, cfg ConvConfig, outLayout tensor.Layout) (*tensor.Tensor, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if in.Shape != cfg.InputShape() {
-		return nil, fmt.Errorf("kernels: conv input shape %v does not match config %v", in.Shape, cfg.InputShape())
-	}
-	if filters.Shape != cfg.FilterShape() {
-		return nil, fmt.Errorf("kernels: filter shape %v does not match config %v", filters.Shape, cfg.FilterShape())
-	}
-	padH, padW := cfg.H+2*cfg.PadH, cfg.W+2*cfg.PadW
-	pR, pC := fft.NextPow2(padH+cfg.FH-1), fft.NextPow2(padW+cfg.FW-1)
-
-	// Pre-transform the filter spectra (K*C of them).
-	filterSpectra := make([]*fft.Matrix, cfg.K*cfg.C)
-	var ferr error
-	var fwg sync.WaitGroup
-	fjobs := make(chan int, cfg.K*cfg.C)
-	for i := 0; i < cfg.K*cfg.C; i++ {
-		fjobs <- i
-	}
-	close(fjobs)
-	var errMu sync.Mutex
-	setErr := func(err error) {
-		errMu.Lock()
-		if ferr == nil {
-			ferr = err
-		}
-		errMu.Unlock()
-	}
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		fwg.Add(1)
-		go func() {
-			defer fwg.Done()
-			buf := make([]float32, cfg.FH*cfg.FW)
-			for idx := range fjobs {
-				k, c := idx/cfg.C, idx%cfg.C
-				for fh := 0; fh < cfg.FH; fh++ {
-					for fw := 0; fw < cfg.FW; fw++ {
-						buf[fh*cfg.FW+fw] = filters.At(k, c, fh, fw)
-					}
-				}
-				m := fft.PadReal(buf, cfg.FH, cfg.FW, pR, pC)
-				if err := fft.Forward2D(m); err != nil {
-					setErr(err)
-					return
-				}
-				filterSpectra[idx] = m
-			}
-		}()
-	}
-	fwg.Wait()
-	if ferr != nil {
-		return nil, ferr
-	}
-
 	out := tensor.New(cfg.OutputShape(), outLayout)
-	outH, outW := cfg.OutH(), cfg.OutW()
-	fullH, fullW := padH-cfg.FH+1, padW-cfg.FW+1
-
-	// Per image: transform its C channel spectra once, then accumulate the
-	// products for each output channel.
-	njobs := make(chan int, cfg.N)
-	for n := 0; n < cfg.N; n++ {
-		njobs <- n
-	}
-	close(njobs)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			img := make([]float32, padH*padW)
-			for n := range njobs {
-				imgSpectra := make([]*fft.Matrix, cfg.C)
-				for c := 0; c < cfg.C; c++ {
-					for i := range img {
-						img[i] = 0
-					}
-					for h := 0; h < cfg.H; h++ {
-						for wI := 0; wI < cfg.W; wI++ {
-							img[(h+cfg.PadH)*padW+(wI+cfg.PadW)] = in.At(n, c, h, wI)
-						}
-					}
-					m := fft.PadReal(img, padH, padW, pR, pC)
-					if err := fft.Forward2D(m); err != nil {
-						setErr(err)
-						return
-					}
-					imgSpectra[c] = m
-				}
-				for k := 0; k < cfg.K; k++ {
-					acc := fft.NewMatrix(pR, pC)
-					for c := 0; c < cfg.C; c++ {
-						if err := fft.SpectrumCorrelate(acc, imgSpectra[c], filterSpectra[k*cfg.C+c]); err != nil {
-							setErr(err)
-							return
-						}
-					}
-					if err := fft.Inverse2D(acc); err != nil {
-						setErr(err)
-						return
-					}
-					for oh := 0; oh < outH; oh++ {
-						ih := oh * cfg.StrideH
-						if ih >= fullH {
-							continue
-						}
-						for ow := 0; ow < outW; ow++ {
-							iw := ow * cfg.StrideW
-							if iw >= fullW {
-								continue
-							}
-							out.Set(n, k, oh, ow, float32(real(acc.At(ih, iw))))
-						}
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	if ferr != nil {
-		return nil, ferr
+	scratch := make([]float32, ConvFFTWorkspaceElems(cfg))
+	if err := ConvFFTInto(in, filters, out, cfg, scratch); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

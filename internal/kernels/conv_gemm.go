@@ -16,9 +16,10 @@ import (
 // dimensions are large (Fig. 4b).
 
 // ConvAlgorithm identifies a CPU convolution execution strategy of the
-// planned runtime: the cuda-convnet style direct kernel or the Caffe/cuDNN
-// style im2col+GEMM path.  internal/autotune selects between them per layer
-// shape and internal/runtime records the choice in the compiled op.
+// planned runtime: the cuda-convnet style direct kernel, the Caffe/cuDNN
+// style im2col+GEMM path, or the cuDNN v4 style frequency-domain FFT path.
+// internal/autotune selects between them per layer shape and
+// internal/runtime records the choice in the compiled op.
 type ConvAlgorithm int
 
 // The convolution algorithms the planned runtime selects between.
@@ -27,6 +28,8 @@ const (
 	ConvAlgDirect ConvAlgorithm = iota
 	// ConvAlgGemm is the im2col+GEMM convolution (ConvIm2colGemmInto).
 	ConvAlgGemm
+	// ConvAlgFFT is the frequency-domain convolution (ConvFFTInto).
+	ConvAlgFFT
 )
 
 // String names the algorithm.
@@ -36,6 +39,8 @@ func (a ConvAlgorithm) String() string {
 		return "direct"
 	case ConvAlgGemm:
 		return "im2col+gemm"
+	case ConvAlgFFT:
+		return "fft"
 	default:
 		return fmt.Sprintf("ConvAlgorithm(%d)", int(a))
 	}

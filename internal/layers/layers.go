@@ -199,6 +199,26 @@ type GemmForwarder interface {
 	ForwardIntoGemm(in, dst *tensor.Tensor, scratch []float32) error
 }
 
+// FFTForwarder is implemented by convolution layers that can execute the
+// frequency-domain strategy (Section IV.A) into caller-provided output and
+// workspace.  The compiler plans the transform workspace — filter and channel
+// spectra plus the accumulator planes — as an op-local arena scratch buffer
+// and calls ForwardIntoFFT for ops whose recorded algorithm is
+// kernels.ConvAlgFFT.  Unlike the GEMM path there is no pre-packed operand:
+// the kernel transforms the filter bank out of the per-run scratch, so
+// rebatched clones share weights with no extra compile-time state.
+type FFTForwarder interface {
+	// Config returns the convolution configuration the algorithm selection
+	// heuristics operate on.
+	Config() kernels.ConvConfig
+	// FFTWorkspaceElems returns the scratch ForwardIntoFFT needs, in float32
+	// elements.
+	FFTWorkspaceElems() int
+	// ForwardIntoFFT runs the layer through the FFT path, using the
+	// caller-provided scratch (contents unspecified on entry).
+	ForwardIntoFFT(in, dst *tensor.Tensor, scratch []float32) error
+}
+
 // Conv is a convolutional layer.
 type Conv struct {
 	LayerName string
@@ -314,6 +334,16 @@ func (c *Conv) GemmWorkspaceElems(outLayout tensor.Layout) int {
 // ForwardIntoGemm implements GemmForwarder.
 func (c *Conv) ForwardIntoGemm(in, dst *tensor.Tensor, scratch []float32) error {
 	return kernels.ConvIm2colGemmInto(in, c.PackedFilters(), dst, c.Cfg, scratch)
+}
+
+// FFTWorkspaceElems implements FFTForwarder.
+func (c *Conv) FFTWorkspaceElems() int {
+	return kernels.ConvFFTWorkspaceElems(c.Cfg)
+}
+
+// ForwardIntoFFT implements FFTForwarder.
+func (c *Conv) ForwardIntoFFT(in, dst *tensor.Tensor, scratch []float32) error {
+	return kernels.ConvFFTInto(in, c.Filters(), dst, c.Cfg, scratch)
 }
 
 // WithBatch implements Rebatcher: the clone convolves with the receiver's

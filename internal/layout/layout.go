@@ -86,6 +86,123 @@ func MeasuredConvWinner(d *gpusim.Device, cfg kernels.ConvConfig) (tensor.Layout
 	return tensor.NCHW, chwn, nchw
 }
 
+// FFTPromotionMargin is how much faster the modeled FFT mode (including any
+// layout switch into NCHW) must be than a layer's heuristically selected
+// spatial algorithm before the compiler's joint sweep promotes the layer to
+// FFT.  The analytic model flatters the frequency-domain path (it ignores
+// tuning and occupancy cliffs real batched-FFT kernels hit), so a promotion
+// needs clear daylight, not a photo finish.
+const FFTPromotionMargin = 1.25
+
+// ConvCandidate is one priced (layout, algorithm) execution option for a
+// convolution layer — one row of the joint sweep the compiler and
+// cmd/layoutplan share.
+type ConvCandidate struct {
+	Layout tensor.Layout
+	Alg    kernels.ConvAlgorithm
+	// TimeUS is the modeled kernel time of the algorithm in its layout,
+	// excluding the layout switch.
+	TimeUS float64
+	// TransformUS is the modeled cost of moving the layer input from the
+	// incoming layout into Layout (zero when they already match).
+	TransformUS float64
+	// OOM marks a mode whose workspace exceeds device memory
+	// (kernels.ErrOutOfMemory); TimeUS is meaningless for it.
+	OOM bool
+}
+
+// TotalUS is the candidate's end-to-end modeled cost: kernel plus layout
+// switch.
+func (c ConvCandidate) TotalUS() float64 { return c.TimeUS + c.TransformUS }
+
+// convCandidate prices one algorithm in its natural layout, charging the best
+// applicable transform kernel when the incoming layout differs.
+func convCandidate(d *gpusim.Device, cfg kernels.ConvConfig, alg kernels.ConvAlgorithm, incoming tensor.Layout) ConvCandidate {
+	cand := ConvCandidate{Alg: alg}
+	switch alg {
+	case kernels.ConvAlgGemm:
+		cand.Layout = tensor.NCHW
+		cand.TimeUS, _ = gpusim.EstimateSequence(d, kernels.ConvGemmNCHWCost(d, cfg))
+	case kernels.ConvAlgFFT:
+		cand.Layout = tensor.NCHW
+		if seq, err := kernels.ConvFFTCost(d, cfg); err != nil {
+			cand.OOM = true
+		} else {
+			cand.TimeUS, _ = gpusim.EstimateSequence(d, seq)
+		}
+	default:
+		cand.Layout = tensor.CHWN
+		cand.TimeUS = gpusim.EstimateTime(d, kernels.ConvDirectCHWNCost(d, cfg)).TotalUS
+	}
+	if incoming.Valid() && incoming != cand.Layout {
+		if stats, _, err := kernels.BestTransform(d, cfg.InputShape(), incoming, cand.Layout); err == nil {
+			cand.TransformUS = gpusim.EstimateTime(d, stats).TotalUS
+		}
+	}
+	return cand
+}
+
+// ConvAlgCandidates prices every production algorithm for the layer in its
+// natural layout — direct in CHWN, im2col+GEMM and FFT in NCHW — charging
+// each candidate the best layout-transform kernel from the incoming layout.
+// This is the full sweep cmd/layoutplan reports; the compiler's per-layer
+// decision (JointConvChoice) picks from the same numbers, so the tool and the
+// compiler cannot disagree.
+func ConvAlgCandidates(d *gpusim.Device, cfg kernels.ConvConfig, incoming tensor.Layout) []ConvCandidate {
+	return []ConvCandidate{
+		convCandidate(d, cfg, kernels.ConvAlgDirect, incoming),
+		convCandidate(d, cfg, kernels.ConvAlgGemm, incoming),
+		convCandidate(d, cfg, kernels.ConvAlgFFT, incoming),
+	}
+}
+
+// JointConvChoice makes the compiler's joint (layout, algorithm) decision for
+// one convolution layer.  `planned` is the layout the network planner picked
+// and `base` the analytic heuristic's algorithm for the shape; the sweep may
+// override both together.  The rules:
+//
+//   - A heuristic FFT choice is pinned to NCHW (the frequency-domain kernels
+//     are NCHW implementations, Section IV.A), flipping the layer's layout if
+//     the planner preferred CHWN.
+//   - A spatial choice on a stride-1 layer is promoted to FFT+NCHW when the
+//     modeled FFT time plus the layout switch beats the base algorithm's
+//     modeled time by FFTPromotionMargin and the FFT workspace fits in device
+//     memory.  Strided layers are never promoted: the dense correlation
+//     computes stride²-fold wasted work.
+//   - Otherwise the layer keeps the planner's layout and the base algorithm.
+//
+// With no device model the planner layout and base algorithm stand unchanged.
+func JointConvChoice(d *gpusim.Device, cfg kernels.ConvConfig, planned tensor.Layout, base kernels.ConvAlgorithm) ConvCandidate {
+	keep := ConvCandidate{Layout: planned, Alg: base}
+	if d == nil || cfg.Validate() != nil {
+		return keep
+	}
+	if base == kernels.ConvAlgFFT {
+		return convCandidate(d, cfg, kernels.ConvAlgFFT, planned)
+	}
+	sh, sw := cfg.StrideH, cfg.StrideW
+	if sh == 0 {
+		sh = 1
+	}
+	if sw == 0 {
+		sw = 1
+	}
+	if sh != 1 || sw != 1 {
+		return keep
+	}
+	// The base algorithm runs in the planner's layout with no switch, so the
+	// comparison is its bare kernel time against FFT's kernel plus transform.
+	basePriced := convCandidate(d, cfg, base, planned)
+	fftCand := convCandidate(d, cfg, kernels.ConvAlgFFT, planned)
+	if fftCand.OOM || fftCand.TotalUS() <= 0 {
+		return keep
+	}
+	if basePriced.TimeUS >= fftCand.TotalUS()*FFTPromotionMargin {
+		return fftCand
+	}
+	return keep
+}
+
 // calibrationReference is the layer shape used for the calibration sweeps; it
 // mirrors the paper's use of CONV7 in Fig. 4 (13x13 maps, 384 filters, 3x3
 // kernels).

@@ -334,5 +334,8 @@ func costOptionsFor(op Op, layout tensor.Layout) layers.CostOptions {
 	if op.Alg == kernels.ConvAlgGemm && layout == tensor.NCHW {
 		opts.Conv = layers.ConvGemmImpl
 	}
+	if op.Alg == kernels.ConvAlgFFT && layout == tensor.NCHW {
+		opts.Conv = layers.ConvFFTImpl
+	}
 	return opts
 }

@@ -11,13 +11,23 @@
 //	                        zero-copy reshape views at flattening boundaries.
 //	                        With Options.ConvAlgorithms each convolution op
 //	                        additionally records its execution strategy —
-//	                        direct or im2col+GEMM, picked per layer shape by
-//	                        internal/autotune's merged-matrix heuristic or a
-//	                        measured probe — the filter bank is pre-packed
-//	                        once into the flat GEMM operand, and every kernel
-//	                        workspace (GEMM unroll matrix, fully-connected
-//	                        flatten staging, softmax logits) becomes an
-//	                        op-local scratch buffer.
+//	                        direct, im2col+GEMM or FFT.  internal/autotune
+//	                        picks a base algorithm per layer shape (the
+//	                        merged-matrix heuristic plus a large-filter
+//	                        stride-1 FFT regime, or a measured probe of all
+//	                        three kernels), and the compiler re-prices that
+//	                        choice jointly with the layer's layout through
+//	                        internal/layout (layout.JointConvChoice): the FFT
+//	                        kernels live in NCHW, so promoting a layer to the
+//	                        frequency domain charges the layout switch and
+//	                        may flip the planner's layout together with the
+//	                        algorithm — the paper's joint layout+algorithm
+//	                        decision, shared verbatim with cmd/layoutplan
+//	                        -algs.  The filter bank is pre-packed once into
+//	                        the flat GEMM operand, and every kernel workspace
+//	                        (GEMM unroll matrix, FFT spectrum planes,
+//	                        fully-connected flatten staging, softmax logits)
+//	                        becomes an op-local scratch buffer.
 //	                        Layers declaring in-place safety
 //	                        (layers.InPlaceForwarder, e.g. ReLU) alias their
 //	                        output buffer onto their input, so the op reads
@@ -67,7 +77,9 @@
 // naive Network.Forward exactly, while algorithm-selected programs reproduce
 // Program.ReferenceForward (the functional forward mirroring the recorded
 // per-layer choices); every kernel fixes its accumulation order so results do
-// not depend on layout, batching or worker count.
+// not depend on layout, batching or worker count.  CompileFixedAlg pins every
+// convolution to one algorithm, which is how the golden suite holds each of
+// the three production paths against the reference on every workload network.
 //
 // On top of any engine, server.go provides a dynamic micro-batching
 // front-end: many concurrent single-image requests coalesce into planned

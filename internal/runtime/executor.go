@@ -153,6 +153,13 @@ func runLayer(op Op, in, out *tensor.Tensor, scratch []float32) error {
 		}
 		return gf.ForwardIntoGemm(in, out, scratch)
 	}
+	if op.Alg == kernels.ConvAlgFFT {
+		ff, ok := op.Layer.(layers.FFTForwarder)
+		if !ok {
+			return fmt.Errorf("layer does not implement the selected FFT algorithm")
+		}
+		return ff.ForwardIntoFFT(in, out, scratch)
+	}
 	if wf, ok := op.Layer.(layers.WorkspaceForwarder); ok && scratch != nil {
 		return wf.ForwardIntoWorkspace(in, out, scratch)
 	}

@@ -6,6 +6,7 @@ import (
 	"memcnn/internal/autotune"
 	"memcnn/internal/kernels"
 	"memcnn/internal/layers"
+	"memcnn/internal/layout"
 	"memcnn/internal/network"
 	"memcnn/internal/tensor"
 )
@@ -168,16 +169,18 @@ func (p *Program) root(id BufferID) BufferID {
 // Options control how Compile lowers a plan.
 type Options struct {
 	// ConvAlgorithms enables per-layer convolution algorithm selection: each
-	// conv op records either the direct or the im2col+GEMM strategy
-	// (internal/autotune decides by layer shape) together with the workspace
-	// the GEMM path needs.  Off by default: the direct path is the
-	// bit-equality reference against the naive Network.Forward, while GEMM
-	// programs are cross-checked per algorithm via ReferenceForward.
+	// conv op records the direct, im2col+GEMM or FFT strategy
+	// (internal/autotune decides by layer shape, and CompileWithOptions
+	// re-prices the choice jointly with the layer's layout on the plan's
+	// device model) together with the workspace the chosen path needs.  Off
+	// by default: the direct path is the bit-equality reference against the
+	// naive Network.Forward, while GEMM and FFT programs are cross-checked
+	// per algorithm via ReferenceForward.
 	ConvAlgorithms bool
 	// Probe, together with ConvAlgorithms, selects each conv algorithm by
-	// timing both kernels once on a sample input instead of the analytic
-	// heuristic.  Compilation becomes measurably slower (two full layer
-	// executions per conv layer).
+	// timing every production kernel once on a sample input instead of the
+	// analytic heuristic.  Compilation becomes measurably slower (one full
+	// layer execution per conv layer per algorithm).
 	Probe bool
 	// NoInPlace disables in-place execution of layers that declare it safe
 	// (layers.InPlaceForwarder, e.g. ReLU).  By default such a layer's
@@ -198,6 +201,15 @@ func Compile(plan *network.ExecutionPlan) (*Program, error) {
 }
 
 // CompileWithOptions is Compile with explicit lowering options.
+//
+// With Options.ConvAlgorithms (and no probe) the compiler does not take the
+// plan's layouts as given: each convolution layer goes through the
+// internal/layout joint sweep, which prices the analytic heuristic's
+// algorithm against the FFT mode — including the cost of switching the
+// layer's input layout — on the plan's device model and may flip both the
+// algorithm and the layout together (layout.JointConvChoice).  That is the
+// paper's joint layout+algorithm choice made at compile time; cmd/layoutplan
+// reports the same sweep.
 func CompileWithOptions(plan *network.ExecutionPlan, opts Options) (*Program, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("runtime: cannot compile a nil plan")
@@ -208,6 +220,20 @@ func CompileWithOptions(plan *network.ExecutionPlan, opts Options) (*Program, er
 	layouts := make([]tensor.Layout, len(plan.Layers))
 	for i, pl := range plan.Layers {
 		layouts[i] = pl.Layout
+	}
+	if opts.ConvAlgorithms && !opts.Probe {
+		forced := make([]kernels.ConvAlgorithm, len(plan.Layers))
+		for i, pl := range plan.Layers {
+			gf, ok := pl.Layer.(layers.GemmForwarder)
+			if !ok {
+				continue
+			}
+			base := autotune.SelectConvAlgorithm(gf.Config())
+			choice := layout.JointConvChoice(plan.Device, gf.Config(), layouts[i], base)
+			layouts[i] = choice.Layout
+			forced[i] = choice.Alg
+		}
+		return lower(plan.Network, plan.PlannerName, layouts, opts, forced)
 	}
 	return lower(plan.Network, plan.PlannerName, layouts, opts, nil)
 }
@@ -282,6 +308,28 @@ func CompileFixedWithOptions(net *network.Network, layout tensor.Layout, opts Op
 		layouts[i] = layout
 	}
 	return lower(net, fmt.Sprintf("fixed-%v", layout), layouts, opts, nil)
+}
+
+// CompileFixedAlg lowers a network with every layer in one layout and every
+// convolution pinned to one algorithm, bypassing selection entirely.  The
+// golden test suite uses it to hold each production algorithm against
+// ReferenceForward on every workload network.
+func CompileFixedAlg(net *network.Network, layout tensor.Layout, alg kernels.ConvAlgorithm) (*Program, error) {
+	if net == nil || len(net.Layers) == 0 {
+		return nil, fmt.Errorf("runtime: cannot compile an empty network")
+	}
+	layouts := make([]tensor.Layout, len(net.Layers))
+	forced := make([]kernels.ConvAlgorithm, len(net.Layers))
+	for i, l := range net.Layers {
+		if !l.SupportsLayout(layout) {
+			return nil, fmt.Errorf("runtime: layer %q does not support layout %v", l.Name(), layout)
+		}
+		layouts[i] = layout
+		if _, ok := l.(layers.GemmForwarder); ok {
+			forced[i] = alg
+		}
+	}
+	return lower(net, fmt.Sprintf("fixed-%v-%v", layout, alg), layouts, Options{}, forced)
 }
 
 // selectConvAlgorithm picks the convolution strategy for one conv layer,
@@ -363,13 +411,21 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 					return nil, fmt.Errorf("runtime: selecting algorithm for %q: %w", l.Name(), err)
 				}
 			}
-			if alg == kernels.ConvAlgGemm {
+			switch alg {
+			case kernels.ConvAlgGemm:
 				op.Alg = kernels.ConvAlgGemm
 				gf.PackedFilters() // pre-pack the GEMM operand once, at compile time
 				op.Scratch = newScratch(gf.GemmWorkspaceElems(lay))
+			case kernels.ConvAlgFFT:
+				ff, ok := l.(layers.FFTForwarder)
+				if !ok {
+					return nil, fmt.Errorf("runtime: layer %q cannot run the FFT algorithm", l.Name())
+				}
+				op.Alg = kernels.ConvAlgFFT
+				op.Scratch = newScratch(ff.FFTWorkspaceElems())
 			}
-		} else if forced != nil && forced[i] == kernels.ConvAlgGemm {
-			return nil, fmt.Errorf("runtime: layer %q cannot run the pinned GEMM algorithm", l.Name())
+		} else if forced != nil && forced[i] != kernels.ConvAlgDirect {
+			return nil, fmt.Errorf("runtime: layer %q cannot run the pinned %v algorithm", l.Name(), forced[i])
 		} else if wf, ok := l.(layers.WorkspaceForwarder); ok {
 			if elems := wf.WorkspaceElems(); elems > 0 {
 				op.Scratch = newScratch(elems)

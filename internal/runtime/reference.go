@@ -8,16 +8,18 @@ import (
 	"memcnn/internal/tensor"
 )
 
-// ConvChoice describes the algorithm the compiler recorded for one
-// convolution op.
+// ConvChoice describes the joint (layout, algorithm) decision the compiler
+// recorded for one convolution op.
 type ConvChoice struct {
 	Layer          string
 	Alg            kernels.ConvAlgorithm
+	Layout         tensor.Layout
 	WorkspaceBytes int64
 }
 
-// ConvChoices lists the algorithm recorded for every convolution op in
-// program order, together with the arena workspace each GEMM choice claims.
+// ConvChoices lists the algorithm and layout recorded for every convolution
+// op in program order, together with the arena workspace each GEMM or FFT
+// choice claims.
 func (p *Program) ConvChoices() []ConvChoice {
 	var out []ConvChoice
 	for _, op := range p.Ops {
@@ -27,7 +29,7 @@ func (p *Program) ConvChoices() []ConvChoice {
 		if _, ok := op.Layer.(layers.GemmForwarder); !ok {
 			continue
 		}
-		ch := ConvChoice{Layer: op.Name, Alg: op.Alg}
+		ch := ConvChoice{Layer: op.Name, Alg: op.Alg, Layout: p.Buffers[op.In].Layout}
 		if op.Scratch != NoBuffer {
 			ch.WorkspaceBytes = p.Buffers[op.Scratch].Bytes()
 		}
@@ -79,6 +81,15 @@ func (p *Program) ReferenceForward(in *tensor.Tensor) (*tensor.Tensor, error) {
 			out := tensor.New(l.OutputShape(), cur.Layout)
 			scratch := make([]float32, gf.GemmWorkspaceElems(out.Layout))
 			if err := gf.ForwardIntoGemm(cur, out, scratch); err != nil {
+				return nil, fmt.Errorf("runtime: %s layer %q: %w", p.Net.Name, l.Name(), err)
+			}
+			cur = out
+			continue
+		}
+		if ff, ok := l.(layers.FFTForwarder); ok && algs[l] == kernels.ConvAlgFFT {
+			out := tensor.New(l.OutputShape(), cur.Layout)
+			scratch := make([]float32, ff.FFTWorkspaceElems())
+			if err := ff.ForwardIntoFFT(cur, out, scratch); err != nil {
 				return nil, fmt.Errorf("runtime: %s layer %q: %w", p.Net.Name, l.Name(), err)
 			}
 			cur = out
