@@ -31,6 +31,7 @@ type record struct {
 	Network        string  `json:"network"`
 	NaiveUS        float64 `json:"naive_us"`
 	SelectedUS     float64 `json:"selected_us"`
+	P99US          float64 `json:"p99_us"`
 	PipelinedUS    float64 `json:"pipelined_us"`
 	ReplicatedUS   float64 `json:"replicated_us"`
 	PeakBytes      int64   `json:"peak_bytes"`
@@ -81,6 +82,11 @@ func main() {
 			baseNorm, curN float64
 		}{
 			{"selected_us", base.SelectedUS, cur.SelectedUS, base.NaiveUS, cur.NaiveUS},
+			// p99 (from the histogram over repeated selected-program runs)
+			// gates tail latency, which a mean-only gate lets regress: a
+			// lock convoy or allocation spike that hits one run in ten moves
+			// p99 long before it moves the min-over-samples mean.
+			{"p99_us", base.P99US, cur.P99US, base.NaiveUS, cur.NaiveUS},
 			{"pipelined_us", base.PipelinedUS, cur.PipelinedUS, base.NaiveUS, cur.NaiveUS},
 			{"replicated_us", base.ReplicatedUS, cur.ReplicatedUS, base.NaiveUS, cur.NaiveUS},
 			{"train_us", base.TrainUS, cur.TrainUS, base.TrainNaiveUS, cur.TrainNaiveUS},

@@ -31,6 +31,28 @@
 // the fault counters.  /healthz reports the fleet's per-replica health and
 // turns 503 once no replica is healthy.
 //
+// # Observability
+//
+// The whole serving stack is instrumented through internal/obs.  A metrics
+// registry is always attached: /metrics serves it in Prometheus text format —
+// per-net request/batch/queue-wait latency histograms (true p50/p95/p99, the
+// same data /stats reports), per-op-kind and per-stage and per-replica
+// latency, throughput, cache and fault counters, and — on simulated device
+// fleets — per-layer modeled-vs-measured drift
+// (memcnn_op_measured_us_total / memcnn_op_modeled_us_total).
+//
+// Tracing is on by default with a bounded ring of -trace-buf spans (0
+// disables it; the disabled hot path is allocation-free).  /trace?last=N
+// downloads the most recent N spans (all retained when omitted) as Chrome
+// trace_event JSON that loads directly in chrome://tracing or Perfetto: op
+// spans (layer, conv algorithm, layout), pipeline stage spans, per-replica
+// sub-batch spans and the server's queue-wait/coalesce/batch spans, on one
+// shared timebase so pipeline overlap and replica skew are visible.
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
+// default: profiling endpoints are opt-in).  After a -demo run, -hold keeps
+// the HTTP listener up so the demo's trace and metrics can be pulled.
+//
 // Usage:
 //
 //	memcnnserve -network LeNet -addr :8080
@@ -38,11 +60,14 @@
 //	memcnnserve -network LeNet -replicas 4 -replica-devices titanblack,titanx -cache 256 -demo 512
 //	memcnnserve -network TinyNet -replicas 4 -chaos 42 -demo 512   # fault-tolerance demo
 //	memcnnserve -network TinyNet -demo 256      # self-driving load test
+//	memcnnserve -network TinyNet -replicas 2 -devices 2 -demo 256 -hold  # then GET /trace
 //
 // Endpoints:
 //
 //	POST /infer   {"image":[C*H*W floats]} -> {"output":[...], "argmax":k}
-//	GET  /stats   batching counters
+//	GET  /stats   batching counters (with latency quantiles)
+//	GET  /metrics Prometheus text exposition
+//	GET  /trace   Chrome trace_event JSON (?last=N bounds the span count)
 //	GET  /plan    compiled program and memory-plan summary
 //	GET  /healthz liveness probe
 package main
@@ -53,7 +78,9 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -62,6 +89,7 @@ import (
 	"memcnn/internal/gpusim"
 	"memcnn/internal/layout"
 	"memcnn/internal/network"
+	"memcnn/internal/obs"
 	memruntime "memcnn/internal/runtime"
 	"memcnn/internal/runtime/replica"
 	"memcnn/internal/tensor"
@@ -84,6 +112,9 @@ func main() {
 		slo         = flag.Duration("slo", 0, "per-request latency budget: requests run under a deadline and admission control sheds load the queue cannot serve in time (0 = no deadlines)")
 		chaosSeed   = flag.Uint64("chaos", 0, "inject a seeded fault schedule into every replica device (transient errors + stalls) and permanently kill one replica partway; requires -replicas > 1 (0 = no chaos)")
 		demo        = flag.Int("demo", 0, "instead of listening, fire N synthetic concurrent requests and exit")
+		hold        = flag.Bool("hold", false, "after a -demo run, keep serving HTTP (so /trace and /metrics of the demo traffic can be pulled)")
+		traceBuf    = flag.Int("trace-buf", obs.DefaultCapacity, "trace ring capacity in spans served at /trace (0 disables tracing; the disabled hot path is allocation-free)")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *chaosSeed != 0 && *replicas <= 1 {
@@ -111,6 +142,7 @@ func main() {
 	// Build the serving engine first so the startup golden check exercises
 	// the exact runner traffic goes through.
 	var runner memruntime.Runner
+	var exec *memruntime.Executor
 	var pipe *memruntime.PipelineExecutor
 	var group *replica.Group
 	switch {
@@ -153,8 +185,30 @@ func main() {
 		defer pipe.Close()
 		runner = pipe
 	default:
-		runner = memruntime.NewExecutor(prog)
+		exec = memruntime.NewExecutor(prog)
+		runner = exec
 	}
+
+	// Instrument the engine before any traffic (including the golden check)
+	// so every span lands in one recorder timebase.  The registry is always
+	// attached — counters and histograms are the data /stats reads anyway —
+	// while the trace ring is sized by -trace-buf (0 turns tracing off and
+	// leaves the hot path allocation-free).
+	reg := obs.NewRegistry()
+	var rec *obs.Recorder
+	if *traceBuf > 0 {
+		rec = obs.NewRecorder(*traceBuf)
+	}
+	ob := memruntime.Observer{Trace: rec, Metrics: reg}
+	switch {
+	case group != nil:
+		group.Instrument(ob)
+	case pipe != nil:
+		pipe.Instrument(ob, memruntime.LaneEngine, "")
+	default:
+		exec.Instrument(ob, memruntime.LaneEngine)
+	}
+
 	if *selectAlgs {
 		if err := goldenCheck(prog, runner); err != nil {
 			fail(fmt.Errorf("memcnnserve: startup golden check: %w", err))
@@ -173,6 +227,7 @@ func main() {
 		fail(err)
 	}
 	defer srv.Close()
+	srv.Instrument(ob)
 
 	if *demo > 0 {
 		// Snapshot before the demo so the reported per-stage means cover the
@@ -221,17 +276,80 @@ func main() {
 		if *slo > 0 {
 			fmt.Printf("slo %v: %d shed by admission control, %d expired in queue\n", *slo, st.Shed, st.Expired)
 		}
-		return
+		fmt.Printf("latency: queue-wait p50/p99 %.0f/%.0f us, batch p50/p99 %.0f/%.0f us (admission estimate %.0f us)\n",
+			st.QueueWaitP50US, st.QueueWaitP99US, st.BatchP50US, st.BatchP99US, st.QueueWaitEstimateUS)
+		printDrift(reg)
+		if rec != nil {
+			fmt.Printf("trace: %d spans recorded (ring holds %d)\n", rec.Len(), rec.Cap())
+		}
+		if !*hold {
+			return
+		}
 	}
 
-	http.HandleFunc("/infer", inferHandler(srv, prog))
-	http.HandleFunc("/stats", statsHandler(srv))
-	http.HandleFunc("/plan", planHandler(prog))
-	http.HandleFunc("/healthz", healthzHandler(group))
+	mux := http.NewServeMux()
+	mux.HandleFunc("/infer", inferHandler(srv, prog))
+	mux.HandleFunc("/stats", statsHandler(srv))
+	mux.HandleFunc("/metrics", metricsHandler(reg))
+	mux.HandleFunc("/trace", traceHandler(rec))
+	mux.HandleFunc("/plan", planHandler(prog))
+	mux.HandleFunc("/healthz", healthzHandler(group))
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	fmt.Printf("listening on %s (batch<=%d, delay %v, %d workers)\n",
 		*addr, srv.Config().MaxBatch, srv.Config().MaxDelay, srv.Config().Workers)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fail(err)
+	}
+}
+
+// printDrift reports the per-layer modeled-vs-measured drift channel — only
+// populated when the fleet contains simulated devices.
+func printDrift(reg *obs.Registry) {
+	drift := memruntime.DriftReport(reg)
+	if len(drift) == 0 {
+		return
+	}
+	fmt.Println("modeled-vs-measured drift (per layer op, cumulative):")
+	for _, d := range drift {
+		fmt.Printf("  %-20s modeled %10.1f us   measured %10.1f us   ratio %.2f\n",
+			d.Op, d.ModeledUS, d.MeasuredUS, d.Ratio())
+	}
+}
+
+// metricsHandler serves the registry in Prometheus text exposition format.
+func metricsHandler(reg *obs.Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	}
+}
+
+// traceHandler serves the retained spans as a Chrome trace_event JSON
+// download; ?last=N bounds the export to the most recent N spans.
+func traceHandler(rec *obs.Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "tracing disabled (-trace-buf 0)", http.StatusNotFound)
+			return
+		}
+		last := 0
+		if v := r.URL.Query().Get("last"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "last must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="memcnn-trace.json"`)
+		_ = rec.WriteChromeTrace(w, last)
 	}
 }
 

@@ -57,6 +57,7 @@ import (
 	"memcnn/internal/layers"
 	"memcnn/internal/layout"
 	"memcnn/internal/network"
+	"memcnn/internal/obs"
 	memruntime "memcnn/internal/runtime"
 	"memcnn/internal/runtime/replica"
 	"memcnn/internal/runtime/train"
@@ -80,6 +81,7 @@ func main() {
 		chaosSeed   = flag.Uint64("chaos", 0, "with -replicas and -exec: soak the replica group under a seeded fault schedule (one replica dies permanently) and record the failover counters (0 = no chaos)")
 		trainMode   = flag.Bool("train", false, "compile each network for training (forward+loss+backward+SGD) and report the planned footprint with and without recompute checkpointing; with -exec also run sanity training steps on the cheap networks (implies -runtime)")
 		jsonPath    = flag.String("json", "", "with -runtime: write per-network latency/alloc stats to this file as JSON")
+		tracePath   = flag.String("trace", "", "with -runtime -exec: write a Chrome trace (chrome://tracing / Perfetto) of the quantile runs to this file")
 	)
 	flag.Parse()
 	if *trainMode {
@@ -102,7 +104,7 @@ func main() {
 	if *runtimeView {
 		opts := memruntime.Options{ConvAlgorithms: *selectAlgs, Probe: *probe}
 		rc := replicaConfig{count: *replicas, spec: *replicaDevs, chaosSeed: *chaosSeed}
-		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, rc, *trainMode, *jsonPath); err != nil {
+		if err := runtimeReport(dev, th, *networkName, *execute, opts, *devices, rc, *trainMode, *jsonPath, *tracePath); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -278,10 +280,15 @@ type netReport struct {
 	TrainNaiveUS        float64 `json:"train_naive_us,omitempty"`
 	TrainLoss           float64 `json:"train_loss,omitempty"`
 
-	// Execution stats, present with -exec.
+	// Execution stats, present with -exec.  SelectedUS is the min over
+	// samples (the trend-gated mean-path metric); P50US/P99US come from a
+	// latency histogram over repeated selected-program runs and gate the
+	// tail, which a min-only metric cannot see.
 	NaiveUS            float64 `json:"naive_us,omitempty"`
 	DirectUS           float64 `json:"direct_us,omitempty"`
 	SelectedUS         float64 `json:"selected_us,omitempty"`
+	P50US              float64 `json:"p50_us,omitempty"`
+	P99US              float64 `json:"p99_us,omitempty"`
 	SelectedImgsPerSec float64 `json:"selected_imgs_per_sec,omitempty"`
 	SelectedAllocBytes uint64  `json:"selected_alloc_bytes,omitempty"`
 }
@@ -301,7 +308,7 @@ type replicaConfig struct {
 	chaosSeed uint64
 }
 
-func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, rc replicaConfig, trainMode bool, jsonPath string) error {
+func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string, exec bool, opts memruntime.Options, devices int, rc replicaConfig, trainMode bool, jsonPath, tracePath string) error {
 	nets, err := workloads.Networks()
 	if err != nil {
 		return err
@@ -316,6 +323,13 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 	}
 	planner := frameworks.Optimized(th)
 	cheap := map[string]bool{"LeNet": true, "Cifar10": true}
+
+	// One recorder is shared across every network's quantile runs so the
+	// resulting Chrome trace shows them back to back on the engine lane.
+	var traceRec *obs.Recorder
+	if tracePath != "" {
+		traceRec = obs.NewRecorder(0)
+	}
 
 	var reports []netReport
 	fmt.Printf("%-8s %9s %8s %12s %12s %7s\n", "network", "ops", "buffers", "peak", "naive", "saved")
@@ -363,7 +377,7 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 					return fmt.Errorf("netbench: compiling %s direct-only: %w", name, err)
 				}
 			}
-			if err := timeExecution(net, direct, prog, &rep); err != nil {
+			if err := timeExecution(net, direct, prog, traceRec, &rep); err != nil {
 				return err
 			}
 		}
@@ -398,6 +412,20 @@ func runtimeReport(dev *gpusim.Device, th layout.Thresholds, networkName string,
 		printTrainTable(reports)
 		_, table := bench.TrainingStep(dev)
 		fmt.Println(table)
+	}
+	if traceRec != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("netbench: writing %s: %w", tracePath, err)
+		}
+		if err := traceRec.WriteChromeTrace(f, 0); err != nil {
+			f.Close()
+			return fmt.Errorf("netbench: writing %s: %w", tracePath, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("netbench: writing %s: %w", tracePath, err)
+		}
+		fmt.Printf("wrote %d trace span(s) to %s\n", traceRec.Len(), tracePath)
 	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(reports, "", "  ")
@@ -826,12 +854,22 @@ func minOverSamples(run func() (time.Duration, uint64, error)) (time.Duration, u
 	return best, bestV, nil
 }
 
+// quantileRuns is how many extra selected-program runs feed the p50/p99
+// latency histogram after the gated min-over-samples timing.
+const quantileRuns = 16
+
+// traceLane hands each network its own trace lane so the -trace output shows
+// one named track per network in chrome://tracing.
+var traceLane = memruntime.LaneEngine
+
 // timeExecution times the naive forward, the direct-only program and the
 // algorithm-selected program (after warming the arena pools) and reports
 // their functional throughput; the trend-gated metrics take the minimum of
 // latencySamples runs.  When direct and selected are the same program
-// (selection disabled) the planned execution alone is timed.
-func timeExecution(net *network.Network, direct, selected *memruntime.Program, rep *netReport) error {
+// (selection disabled) the planned execution alone is timed.  A further
+// quantileRuns passes feed a latency histogram for p50/p99 — recorded as op
+// and run spans into traceRec when non-nil.
+func timeExecution(net *network.Network, direct, selected *memruntime.Program, traceRec *obs.Recorder, rep *netReport) error {
 	in := tensor.Random(net.InputShape(), tensor.NCHW, 1)
 	naive, _, err := minOverSamples(func() (time.Duration, uint64, error) {
 		start := time.Now()
@@ -854,9 +892,29 @@ func timeExecution(net *network.Network, direct, selected *memruntime.Program, r
 		return fmt.Errorf("netbench: %s planned run: %w", net.Name, err)
 	}
 
+	// Tail quantiles come from extra runs AFTER the gated min-over-samples
+	// timing, through an instrumented executor when -trace is set — so the
+	// span recording can never perturb the trend-gated SelectedUS number.
+	if traceRec != nil {
+		lane := traceLane
+		traceLane++
+		traceRec.SetLane(lane, "engine ("+net.Name+")")
+		selectedExec.Instrument(memruntime.Observer{Trace: traceRec}, lane)
+	}
+	qh := obs.NewHistogram()
+	for i := 0; i < quantileRuns; i++ {
+		start := time.Now()
+		if err := selectedExec.RunInto(in, out); err != nil {
+			return fmt.Errorf("netbench: %s quantile run: %w", net.Name, err)
+		}
+		qh.Observe(float64(time.Since(start)) / 1e3)
+	}
+
 	batch := float64(net.Batch)
 	rep.NaiveUS = float64(naive.Microseconds())
 	rep.SelectedUS = float64(selectedTime.Microseconds())
+	rep.P50US = qh.Quantile(0.50)
+	rep.P99US = qh.Quantile(0.99)
 	rep.SelectedImgsPerSec = batch / selectedTime.Seconds()
 	rep.SelectedAllocBytes = allocBytes
 

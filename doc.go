@@ -74,6 +74,22 @@
 // which CI runs alongside the race-detector chaos tests, with benchtrend
 // asserting the un-faulted baseline run sheds nothing.
 //
+// The running stack is observable end to end (internal/obs): a shared
+// ring-buffered trace recorder collects op, run, pipeline-stage, replica,
+// queue-wait, coalesce and batch spans from every execution layer —
+// allocation-free when enabled, a nil check when not — and exports them as
+// Chrome trace_event JSON loadable in chrome://tracing or Perfetto, while a
+// metrics registry keeps per-net/per-op-kind/per-stage/per-replica latency
+// histograms (true p50/p95/p99, which also drive the server's SLO admission
+// estimate) and exports every serving, cache and fault counter in Prometheus
+// text format from the same atomics the stats endpoints read.  On simulated
+// fleets the trace carries per-op modeled-vs-measured drift, keeping the
+// gpusim cost model honest layer by layer.  `memcnnserve` exposes /metrics,
+// /trace and an expanded /stats (plus opt-in pprof); `netbench -trace`
+// writes the same trace for offline runs, and its p50/p99 histogram
+// quantiles land in the BENCH JSON where cmd/benchtrend gates tail latency
+// alongside the means.
+//
 // Training runs under the same memory discipline (runtime/train): the
 // compiler lowers a softmax-terminated network into one op list covering the
 // forward pass, softmax cross-entropy loss, backward data/filter passes and

@@ -128,12 +128,42 @@
 // requests when coalescing a batch (the Expired counter; the batch runs
 // under the latest surviving deadline), and sheds at admission with ErrShed
 // — before the request ever queues — when the estimated queue wait
-// (EWMA batch time x queued batches / workers) already exceeds the SLO, so
-// an overloaded server fails fast instead of queueing doomed work.  Shed or
+// (p95 batch time x queued batches / workers, read from the server's
+// always-on batch-latency histogram) already exceeds the SLO, so an
+// overloaded server fails fast instead of queueing doomed work.  Shed or
 // expired requests never enter the result cache; only successful batches
-// feed the EWMA.  Counters for all of this (Shed, Expired, and the group's
-// retries/failovers/readmissions/contained panics via ServerStats.Faults)
-// surface in cmd/memcnnserve's /healthz endpoint and `netbench -chaos`.
+// feed the histogram.  Counters for all of this (Shed, Expired, and the
+// group's retries/failovers/readmissions/contained panics via
+// ServerStats.Faults) surface in cmd/memcnnserve's /healthz endpoint and
+// `netbench -chaos`.
+//
+// # Observability
+//
+// observe.go ties the stack into internal/obs.  An Observer bundles an
+// optional trace recorder and an optional metrics registry; Instrument
+// methods on Executor, PipelineExecutor, replica.Group and BatchServer
+// attach one shared Observer before traffic starts, and the hooks are
+// allocation-free — a span is a prebuilt template copied into the ring, a
+// metric observation is an atomic increment — with a nil-check-only fast
+// path when nothing is attached.
+//
+// The span taxonomy mirrors the execution layers, one trace lane per
+// concurrent actor so the export reads correctly in chrome://tracing or
+// Perfetto: "op" (one compiled op, carrying its kind, buffer layout, conv
+// algorithm and modeled device time), "run" (one whole program execution),
+// "stage" (one batch crossing one pipeline stage, on per-stage lanes),
+// "replica" (one sub-batch on one replica, whose engines nest their own
+// run/op spans on the replica's lanes), and the server-side "queue",
+// "coalesce" and "batch" spans on per-worker lanes.  The metrics side
+// registers latency histograms per net/op-kind/stage/replica plus every
+// ServerStats counter as a function reading the same atomics Stats reads,
+// so /metrics can never disagree with /stats.  When the device chain prices
+// ops on a SimDevice, per-layer measured and modeled microsecond totals
+// accumulate as counters and DriftReport extracts the modeled-vs-measured
+// drift ratio per layer — the live check that the gpusim cost model keeps
+// tracking reality.  cmd/memcnnserve surfaces all of it over HTTP
+// (/metrics, /trace, expanded /stats, opt-in pprof) and `netbench -trace`
+// writes the same Chrome trace JSON for offline runs.
 //
 // The train sub-package extends the same discipline to training.
 // CompileTraining appends loss and backward ops to the lowered forward

@@ -3,6 +3,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"memcnn/internal/kernels"
 	"memcnn/internal/layers"
@@ -17,6 +18,7 @@ type Executor struct {
 	prog *Program
 	dev  Device
 	pool *Pool
+	obs  atomic.Pointer[execObs]
 }
 
 // NewExecutor builds an executor (and its instance pool) for a program on the
@@ -36,6 +38,21 @@ func (e *Executor) Program() *Program { return e.prog }
 
 // Device returns the device the executor runs on.
 func (e *Executor) Device() Device { return e.dev }
+
+// Instrument attaches an observer to this executor: every subsequent run
+// records one span per executed op (layer name, op kind, conv algorithm,
+// input layout, modeled micros) plus a whole-run span on the given trace
+// lane, and feeds the per-net run and per-op-kind latency histograms.  On a
+// modeled device chain (SimOf != nil) layer ops additionally accumulate the
+// measured/modeled drift counters.  Call before the executor serves traffic;
+// a zero Observer detaches.
+func (e *Executor) Instrument(ob Observer, lane int32) {
+	if !ob.Enabled() {
+		e.obs.Store(nil)
+		return
+	}
+	e.obs.Store(newExecObs(e.prog, e.dev, ob, lane))
+}
 
 // Run executes the program on one input batch, returning a freshly allocated
 // output in the input's layout.  Use RunInto to avoid the output allocation.
@@ -94,15 +111,21 @@ func (e *Executor) runModeled(ctx context.Context, in, dst *tensor.Tensor) (floa
 		return 0, err
 	}
 	defer e.pool.Put(inst)
-	return inst.run(ctx, e.dev, in, dst)
+	return inst.run(ctx, e.dev, e.obs.Load(), in, dst)
 }
 
 // run executes the program over this instance's arena on the given device,
 // accumulating the device's modeled time.  A panic anywhere below — a buggy
 // kernel, a faulting device — is contained into a *PanicError so it fails
 // this run, never the process.  Cancellation is checked before every op.
-func (inst *Instance) run(ctx context.Context, dev Device, in, dst *tensor.Tensor) (modeledUS float64, err error) {
+// eo is nil when the executor is uninstrumented: the only observability cost
+// on that path is the nil test per op.
+func (inst *Instance) run(ctx context.Context, dev Device, eo *execObs, in, dst *tensor.Tensor) (modeledUS float64, err error) {
 	defer containPanic("executor", &err)
+	var runT0 int64
+	if eo != nil {
+		runT0 = eo.now()
+	}
 	if err := tensor.ConvertInto(in, inst.bufs[inst.prog.Input]); err != nil {
 		return 0, fmt.Errorf("runtime: staging input: %w", err)
 	}
@@ -128,14 +151,24 @@ func (inst *Instance) run(ctx context.Context, dev Device, in, dst *tensor.Tenso
 		if op.Aux != NoBuffer {
 			aux = inst.bufs[op.Aux]
 		}
+		var opT0 int64
+		if eo != nil {
+			opT0 = eo.now()
+		}
 		us, err := dev.RunOp(inst.prog, i, inst.bufs[op.In], inst.bufs[op.Out], aux, scratch)
 		if err != nil {
 			return modeledUS, fmt.Errorf("runtime: %w", err)
+		}
+		if eo != nil {
+			eo.observeOp(i, opT0, us)
 		}
 		modeledUS += us
 	}
 	if err := tensor.ConvertInto(inst.bufs[inst.prog.Output], dst); err != nil {
 		return modeledUS, fmt.Errorf("runtime: delivering output: %w", err)
+	}
+	if eo != nil {
+		eo.observeRun(runT0, modeledUS)
 	}
 	return modeledUS, nil
 }

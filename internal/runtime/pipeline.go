@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memcnn/internal/obs"
 	"memcnn/internal/tensor"
 )
 
@@ -55,6 +56,18 @@ type pipeStage struct {
 	modeledNS  atomic.Int64
 	measuredNS atomic.Int64
 	jobs       atomic.Uint64
+
+	// obs holds the stage's prebuilt span template and latency histogram when
+	// the pipeline is instrumented; nil otherwise.  Atomic because the stage
+	// goroutines are already running when Instrument is called.
+	obs atomic.Pointer[stageObs]
+}
+
+// stageObs is one stage's instrumentation, prepared once at Instrument time.
+type stageObs struct {
+	rec  *obs.Recorder
+	span obs.Span
+	hist *obs.Histogram
 }
 
 // pipeJob is one batch moving through the pipeline.
@@ -100,6 +113,41 @@ func NewPipelineExecutor(sp *ShardedProgram) *PipelineExecutor {
 // Sharded returns the sharded program the pipeline executes.
 func (pe *PipelineExecutor) Sharded() *ShardedProgram { return pe.sp }
 
+// Instrument attaches an observer to the pipeline: stage i renders on trace
+// lane laneBase+i (named "<label>stage i"), each stage's executor records its
+// op and run spans on the same lane, each batch crossing a stage records a
+// stage span carrying the batch size and the stage's modeled time (including
+// its inbound transfer), and per-stage latency histograms are registered
+// under memcnn_stage_latency_us{net,stage}.  label prefixes lane names so
+// multiple pipelines (replicas) stay distinguishable; it may be empty.
+// Call before submitting traffic; a zero Observer detaches.
+func (pe *PipelineExecutor) Instrument(ob Observer, laneBase int32, label string) {
+	net := pe.sp.Base.Net.Name
+	images := pe.sp.Base.InputShape().N
+	for i, ps := range pe.stages {
+		lane := laneBase + int32(i)
+		if !ob.Enabled() {
+			ps.obs.Store(nil)
+			ps.exec.Instrument(Observer{}, lane)
+			continue
+		}
+		ob.Trace.SetLane(lane, fmt.Sprintf("%sstage %d (%s)", label, i, pe.sp.Stages[i].Device.Name()))
+		ps.exec.Instrument(ob, lane)
+		ps.obs.Store(&stageObs{
+			rec: ob.Trace,
+			span: obs.Span{
+				Name:   fmt.Sprintf("stage %d", i),
+				Cat:    obs.CatStage,
+				Lane:   lane,
+				Images: images,
+			},
+			hist: ob.Metrics.Histogram(metricStageLatency,
+				"Per-pipeline-stage batch latency.",
+				obs.L("net", net), obs.L("stage", fmt.Sprintf("%d", i))),
+		})
+	}
+}
+
 // runStage drains one stage's job queue until the pipeline closes, forwarding
 // each batch to the next stage (or completing it at the last).  A batch whose
 // context is already cancelled skips the stage; a panic inside the stage's
@@ -123,11 +171,27 @@ func (pe *PipelineExecutor) runStage(ps *pipeStage) {
 		} else {
 			out = ps.boundary.Get().(*tensor.Tensor)
 		}
+		so := ps.obs.Load()
+		var spanT0 int64
+		if so != nil {
+			spanT0 = so.rec.Now()
+		}
 		start := time.Now()
 		modeledUS, err := ps.exec.RunIntoModeledCtx(job.ctx, job.cur, out)
-		ps.measuredNS.Add(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		ps.measuredNS.Add(int64(elapsed))
 		ps.modeledNS.Add(int64((modeledUS + ps.transferInUS) * 1e3))
 		ps.jobs.Add(1)
+		if so != nil {
+			if so.rec != nil {
+				sp := so.span
+				sp.StartNS = spanT0
+				sp.DurNS = int64(elapsed)
+				sp.ModeledUS = modeledUS + ps.transferInUS
+				so.rec.Record(sp)
+			}
+			so.hist.Observe(float64(elapsed) / 1e3)
+		}
 		if job.release != nil {
 			job.release(job.cur)
 		}

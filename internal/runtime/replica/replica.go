@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"memcnn/internal/gpusim"
+	"memcnn/internal/obs"
 	"memcnn/internal/runtime"
 	"memcnn/internal/tensor"
 )
@@ -148,6 +149,38 @@ type Group struct {
 	failovers    atomic.Uint64
 	readmissions atomic.Uint64
 	panics       atomic.Uint64
+
+	// obsv is the group's instrumentation (nil when uninstrumented).  Atomic
+	// because engines are built lazily under each unit's lock — a failover
+	// rebuild compiling a new engine must see the observer without taking a
+	// group-wide lock on the batch path.
+	obsv atomic.Pointer[groupObs]
+}
+
+// groupObs is the group's prepared instrumentation: the shared observer, the
+// per-replica lane layout and the per-replica sub-batch span templates and
+// latency histograms.
+type groupObs struct {
+	ob     runtime.Observer
+	stride int32 // trace lanes reserved per replica (its pipeline depth)
+	spans  []obs.Span
+	hists  []*obs.Histogram
+}
+
+// laneFor returns the first trace lane of a replica's block.
+func (gob *groupObs) laneFor(replica int) int32 {
+	return runtime.LaneEngine + int32(replica)*gob.stride
+}
+
+// observe records one sub-batch run on one replica.
+func (gob *groupObs) observe(replica int, t0 int64, elapsed time.Duration, modeledUS float64, images int) {
+	if gob.ob.Trace != nil {
+		sp := gob.spans[replica]
+		sp.StartNS, sp.DurNS = t0, int64(elapsed)
+		sp.ModeledUS, sp.Images = modeledUS, images
+		gob.ob.Trace.Record(sp)
+	}
+	gob.hists[replica].Observe(float64(elapsed) / 1e3)
 }
 
 // topology is one immutable batch split over the units: the per-unit image
@@ -191,6 +224,19 @@ func (e *engine) run(ctx context.Context, in, out *tensor.Tensor) error {
 		return e.exec.RunIntoCtx(ctx, in, out)
 	}
 	return e.pipe.RunIntoCtx(ctx, in, out)
+}
+
+// instrument attaches (or with a zero observer detaches) the engine's
+// executor or pipeline to the replica's trace lane block.
+func (e *engine) instrument(ob runtime.Observer, lane int32, replica int) {
+	if e.exec != nil {
+		if ob.Trace != nil {
+			ob.Trace.SetLane(lane, fmt.Sprintf("replica %d (%s)", replica, e.exec.Device().Name()))
+		}
+		e.exec.Instrument(ob, lane)
+		return
+	}
+	e.pipe.Instrument(ob, lane, fmt.Sprintf("r%d ", replica))
 }
 
 // NewGroup builds a replica group for a compiled program.  Close must be
@@ -278,7 +324,7 @@ func (g *Group) deriveTopology() (*topology, error) {
 		offsets[i] = offset
 		offset += share
 		if share > 0 {
-			if _, err := g.units[i].engine(g.base, share); err != nil {
+			if _, err := g.units[i].engine(g, share); err != nil {
 				return nil, err
 			}
 		}
@@ -305,16 +351,21 @@ func (g *Group) rebuild() error {
 }
 
 // engine returns the unit's engine for a sub-batch of the given share,
-// compiling and caching it on first use.
-func (u *unit) engine(base *runtime.Program, share int) (*engine, error) {
+// compiling and caching it on first use.  A freshly built engine inherits the
+// group's instrumentation — failover and re-admission compile new shares on
+// the hot path, and their spans must not silently vanish.
+func (u *unit) engine(g *Group, share int) (*engine, error) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if e, ok := u.engines[share]; ok {
 		return e, nil
 	}
-	e, err := buildEngine(base, u.devices, share)
+	e, err := buildEngine(g.base, u.devices, share)
 	if err != nil {
 		return nil, fmt.Errorf("replica %d: %w", u.index, err)
+	}
+	if gob := g.obsv.Load(); gob != nil {
+		e.instrument(gob.ob, gob.laneFor(u.index), u.index)
 	}
 	u.engines[share] = e
 	return e, nil
@@ -447,7 +498,7 @@ func (g *Group) ModeledBatchUS() float64 {
 		if topo.shares[i] == 0 {
 			continue
 		}
-		e, err := u.engine(g.base, topo.shares[i])
+		e, err := u.engine(g, topo.shares[i])
 		if err != nil {
 			continue
 		}
@@ -551,7 +602,7 @@ func (g *Group) runTopology(ctx context.Context, topo *topology, src, out *tenso
 		if share == 0 {
 			continue
 		}
-		e, err := u.engine(g.base, share)
+		e, err := u.engine(g, share)
 		if err != nil {
 			errs[i] = err
 			continue
@@ -588,10 +639,19 @@ func (g *Group) runTopology(ctx context.Context, topo *topology, src, out *tenso
 // failure.  Cancellation suppresses retries.
 func (g *Group) runUnit(ctx context.Context, u *unit, e *engine, in, out *tensor.Tensor) error {
 	for attempt := 0; ; attempt++ {
+		gob := g.obsv.Load()
+		var t0 int64
+		if gob != nil && gob.ob.Trace != nil {
+			t0 = gob.ob.Trace.Now()
+		}
 		start := time.Now()
 		err := e.run(ctx, in, out)
-		u.measuredNS.Add(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		u.measuredNS.Add(int64(elapsed))
 		u.batches.Add(1)
+		if gob != nil {
+			gob.observe(u.index, t0, elapsed, e.modeled, in.Shape.N)
+		}
 		if err == nil {
 			return nil
 		}
@@ -663,7 +723,7 @@ func (g *Group) probeUnit(u *unit) bool {
 	if share == -1 {
 		share = 1
 	}
-	e, err := u.engine(g.base, share)
+	e, err := u.engine(g, share)
 	if err != nil {
 		return false
 	}
@@ -714,6 +774,62 @@ func (g *Group) Close() {
 	}
 }
 
+// Instrument attaches an observer to the group: every sub-batch records a
+// replica span (with its share and modeled micros) on the replica's trace
+// lane block — replica r owns lanes [laneFor(r), laneFor(r)+stride), where
+// stride is the deepest replica pipeline, so a pipelined replica's stage
+// lanes sit next to its sub-batch lane — and per-replica latency histograms
+// and batch/failure counters are registered in the metrics registry.  All
+// engines already compiled are instrumented, and engines compiled later
+// (failover shares, probe engines) inherit the observer.  Call before
+// serving traffic; a zero Observer detaches.
+func (g *Group) Instrument(ob runtime.Observer) {
+	if !ob.Enabled() {
+		g.obsv.Store(nil)
+		for _, u := range g.units {
+			u.mu.Lock()
+			for _, e := range u.engines {
+				e.instrument(runtime.Observer{}, 0, u.index)
+			}
+			u.mu.Unlock()
+		}
+		return
+	}
+	stride := 1
+	for _, u := range g.units {
+		if len(u.devices) > stride {
+			stride = len(u.devices)
+		}
+	}
+	net := g.base.Net.Name
+	gob := &groupObs{ob: ob, stride: int32(stride)}
+	for i, u := range g.units {
+		rL := obs.L("replica", fmt.Sprintf("%d", i))
+		gob.spans = append(gob.spans, obs.Span{
+			Name: fmt.Sprintf("replica %d", i),
+			Cat:  obs.CatReplica,
+			Lane: gob.laneFor(i),
+		})
+		gob.hists = append(gob.hists, ob.Metrics.Histogram("memcnn_replica_latency_us",
+			"Per-replica sub-batch wall latency.", obs.L("net", net), rL))
+		u := u
+		ob.Metrics.CounterFunc("memcnn_replica_batches_total",
+			"Sub-batch runs per replica (including retries).",
+			func() float64 { return float64(u.batches.Load()) }, obs.L("net", net), rL)
+		ob.Metrics.CounterFunc("memcnn_replica_failures_total",
+			"Failed sub-batch runs per replica.",
+			func() float64 { return float64(u.failures.Load()) }, obs.L("net", net), rL)
+	}
+	g.obsv.Store(gob)
+	for i, u := range g.units {
+		u.mu.Lock()
+		for _, e := range u.engines {
+			e.instrument(ob, gob.laneFor(i), i)
+		}
+		u.mu.Unlock()
+	}
+}
+
 // Stats reports one replica's share and observed cost.
 type Stats struct {
 	Replica int
@@ -758,7 +874,7 @@ func (g *Group) ReplicaStats() []Stats {
 			ScatterUS: topo.scatter[i],
 		}
 		if topo.shares[i] > 0 {
-			if e, err := u.engine(g.base, topo.shares[i]); err == nil {
+			if e, err := u.engine(g, topo.shares[i]); err == nil {
 				s.ModeledUS = e.modeled + topo.scatter[i]
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"memcnn/internal/obs"
 	"memcnn/internal/tensor"
 )
 
@@ -44,9 +45,9 @@ type ServerConfig struct {
 	// sooner), requests whose deadline passes while queued are failed with
 	// context.DeadlineExceeded without occupying a batch slot, and admission
 	// control sheds new requests with ErrShed when the queue is deep enough
-	// that their estimated wait (measured batch time x batches ahead) would
-	// already exceed the budget.  0 (the default) disables deadlines and
-	// shedding.
+	// that their estimated wait (p95 measured batch time x batches ahead)
+	// would already exceed the budget.  0 (the default) disables deadlines
+	// and shedding.
 	SLO time.Duration
 }
 
@@ -80,6 +81,16 @@ type ServerStats struct {
 	// Requests or Errors — they never reached an execution.
 	Shed    uint64
 	Expired uint64
+	// Queue-wait and batch-execution latency quantiles, in microseconds, from
+	// the server's always-on histograms (bucketed: values are bucket upper
+	// bounds, relative error <= ~19%).  QueueWaitEstimateUS is the current
+	// admission-control wait estimate — p95 batch time x batches queued ahead
+	// / workers — which the measured QueueWaitP99US keeps honest.
+	QueueWaitEstimateUS float64
+	QueueWaitP50US      float64
+	QueueWaitP99US      float64
+	BatchP50US          float64
+	BatchP99US          float64
 	// Cache holds the result-cache counters when CacheEntries > 0; requests
 	// served from the cache (or by joining an in-flight identical request)
 	// never reach the batching queue, so they appear here and not in
@@ -100,6 +111,7 @@ type request struct {
 	ctx  context.Context
 	img  *tensor.Tensor
 	resp chan response
+	enq  time.Time // when the request entered the queue
 }
 
 // Runner executes a compiled program on one input batch.  The single-device
@@ -132,11 +144,14 @@ func NewServerWith(prog *Program, run Runner, cfg ServerConfig) (*BatchServer, e
 		return nil, fmt.Errorf("runtime: MaxBatch %d exceeds the network batch %d", cfg.MaxBatch, in.N)
 	}
 	s := &BatchServer{
-		prog: prog,
-		exec: run,
-		cfg:  cfg,
-		reqs: make(chan *request, cfg.QueueDepth),
-		stop: make(chan struct{}),
+		prog:      prog,
+		exec:      run,
+		cfg:       cfg,
+		reqs:      make(chan *request, cfg.QueueDepth),
+		stop:      make(chan struct{}),
+		queueWait: obs.NewHistogram(),
+		batchLat:  obs.NewHistogram(),
+		reqLat:    obs.NewHistogram(),
 	}
 	if cfg.CacheEntries > 0 {
 		cache, err := NewResultCache(cfg.CacheEntries)
@@ -147,7 +162,7 @@ func NewServerWith(prog *Program, run Runner, cfg ServerConfig) (*BatchServer, e
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s, nil
 }
@@ -180,9 +195,18 @@ type BatchServer struct {
 	largestBatch atomic.Uint64
 	shed         atomic.Uint64
 	expired      atomic.Uint64
-	// batchNS is an EWMA of measured batch execution time, feeding the
-	// admission-control wait estimate.
-	batchNS atomic.Int64
+
+	// The server's always-on latency histograms: per-request queue wait,
+	// successful batch execution time (feeding the admission-control wait
+	// estimate, which used to be an opaque EWMA) and end-to-end request
+	// latency.  Instrument surfaces them in a metrics registry; Stats reads
+	// quantiles from them either way.
+	queueWait *obs.Histogram
+	batchLat  *obs.Histogram
+	reqLat    *obs.Histogram
+	// trace, when set by Instrument, receives queue-wait/coalesce/batch spans
+	// on per-worker lanes.
+	trace atomic.Pointer[obs.Recorder]
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -217,15 +241,18 @@ func (s *BatchServer) Infer(ctx context.Context, img *tensor.Tensor) (*tensor.Te
 
 // admissionWait estimates how long a request entering the queue now will wait
 // before its batch starts: the batches already queued ahead of it, divided
-// over the workers, each taking the measured (EWMA) batch time.  Zero until
-// the first batch has been measured.
+// over the workers, each taking the p95 measured batch time from the batch
+// histogram.  Zero until the first batch has been measured.  Using a high
+// quantile (rather than the old EWMA of recent batches) makes the estimate
+// conservative under bimodal batch times — the regime where an optimistic
+// mean admits requests that then blow their SLO in the queue.
 func (s *BatchServer) admissionWait() time.Duration {
-	per := s.batchNS.Load()
+	per := s.batchLat.Quantile(0.95) // microseconds
 	if per <= 0 {
 		return 0
 	}
 	batchesAhead := len(s.reqs) / s.cfg.MaxBatch
-	return time.Duration(per * int64(batchesAhead) / int64(s.cfg.Workers))
+	return time.Duration(per * float64(batchesAhead) / float64(s.cfg.Workers) * 1e3)
 }
 
 // submit queues one validated image for batching and waits for its result.
@@ -234,7 +261,7 @@ func (s *BatchServer) submit(ctx context.Context, img *tensor.Tensor) (*tensor.T
 		s.shed.Add(1)
 		return nil, ErrShed
 	}
-	r := &request{ctx: ctx, img: img, resp: make(chan response, 1)}
+	r := &request{ctx: ctx, img: img, resp: make(chan response, 1), enq: time.Now()}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -249,6 +276,7 @@ func (s *BatchServer) submit(ctx context.Context, img *tensor.Tensor) (*tensor.T
 	}
 	select {
 	case resp := <-r.resp:
+		s.reqLat.Observe(float64(time.Since(r.enq)) / 1e3)
 		return resp.out, resp.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
@@ -258,12 +286,17 @@ func (s *BatchServer) submit(ctx context.Context, img *tensor.Tensor) (*tensor.T
 // Stats returns a snapshot of the batching counters.
 func (s *BatchServer) Stats() ServerStats {
 	st := ServerStats{
-		Requests:     s.requests.Load(),
-		Batches:      s.batches.Load(),
-		Errors:       s.errors.Load(),
-		LargestBatch: s.largestBatch.Load(),
-		Shed:         s.shed.Load(),
-		Expired:      s.expired.Load(),
+		Requests:            s.requests.Load(),
+		Batches:             s.batches.Load(),
+		Errors:              s.errors.Load(),
+		LargestBatch:        s.largestBatch.Load(),
+		Shed:                s.shed.Load(),
+		Expired:             s.expired.Load(),
+		QueueWaitEstimateUS: float64(s.admissionWait()) / 1e3,
+		QueueWaitP50US:      s.queueWait.Quantile(0.50),
+		QueueWaitP99US:      s.queueWait.Quantile(0.99),
+		BatchP50US:          s.batchLat.Quantile(0.50),
+		BatchP99US:          s.batchLat.Quantile(0.99),
 	}
 	if st.Batches > 0 {
 		st.AvgBatch = float64(st.Requests) / float64(st.Batches)
@@ -281,6 +314,79 @@ func (s *BatchServer) Stats() ServerStats {
 
 // Cache returns the serving-side result cache, nil when disabled.
 func (s *BatchServer) Cache() *ResultCache { return s.cache }
+
+// Instrument attaches an observer to the server.  With a trace recorder,
+// every coalesced batch records a queue-wait span (admission of its oldest
+// request to dispatch), a coalesce span (first arrival at the worker to
+// batch assembly) and a batch span (planned execution), on per-worker lanes.
+// With a metrics registry, the server's always-on histograms (queue wait,
+// batch latency, request latency) are adopted into it and every ServerStats
+// counter — including the cache and fault-tolerance counters — is exported
+// as a counter/gauge function reading the same atomics Stats reads, so
+// /metrics and /stats can never disagree.  Call before serving traffic; a
+// zero Observer detaches the tracer (metrics registrations persist).
+func (s *BatchServer) Instrument(ob Observer) {
+	if ob.Trace != nil {
+		for i := 0; i < s.cfg.Workers; i++ {
+			ob.Trace.SetLane(laneServerBase+int32(i), fmt.Sprintf("server w%d", i))
+		}
+	}
+	s.trace.Store(ob.Trace)
+	reg := ob.Metrics
+	if reg == nil {
+		return
+	}
+	netL := obs.L("net", s.prog.Net.Name)
+	reg.AdoptHistogram("memcnn_queue_wait_us",
+		"Time requests spent in the batching queue before dispatch.", s.queueWait, netL)
+	reg.AdoptHistogram("memcnn_batch_latency_us",
+		"Successful coalesced-batch execution latency (feeds admission control).", s.batchLat, netL)
+	reg.AdoptHistogram("memcnn_request_latency_us",
+		"End-to-end single-image request latency through the batching server.", s.reqLat, netL)
+	reg.CounterFunc("memcnn_requests_total",
+		"Single-image requests completed (success or error).",
+		func() float64 { return float64(s.requests.Load()) }, netL)
+	reg.CounterFunc("memcnn_batches_total",
+		"Planned batch executions performed.",
+		func() float64 { return float64(s.batches.Load()) }, netL)
+	reg.CounterFunc("memcnn_request_errors_total",
+		"Requests that failed inside an execution.",
+		func() float64 { return float64(s.errors.Load()) }, netL)
+	reg.CounterFunc("memcnn_shed_total",
+		"Requests rejected by SLO admission control (ErrShed).",
+		func() float64 { return float64(s.shed.Load()) }, netL)
+	reg.CounterFunc("memcnn_expired_total",
+		"Requests whose deadline passed while queued.",
+		func() float64 { return float64(s.expired.Load()) }, netL)
+	if s.cache != nil {
+		reg.CounterFunc("memcnn_cache_hits_total",
+			"Result-cache hits (including single-flight joins).",
+			func() float64 { return float64(s.cache.Stats().Hits) }, netL)
+		reg.CounterFunc("memcnn_cache_misses_total",
+			"Result-cache misses.",
+			func() float64 { return float64(s.cache.Stats().Misses) }, netL)
+		reg.CounterFunc("memcnn_cache_evictions_total",
+			"Result-cache LRU evictions.",
+			func() float64 { return float64(s.cache.Stats().Evictions) }, netL)
+	}
+	if fr, ok := s.exec.(FaultReporter); ok {
+		reg.CounterFunc("memcnn_fault_retries_total",
+			"Sub-batch re-executions after transient failures.",
+			func() float64 { return float64(fr.FaultStats().Retries) }, netL)
+		reg.CounterFunc("memcnn_fault_failovers_total",
+			"Replicas marked unhealthy after exhausting retries.",
+			func() float64 { return float64(fr.FaultStats().Failovers) }, netL)
+		reg.CounterFunc("memcnn_fault_readmissions_total",
+			"Unhealthy replicas restored by a successful probe.",
+			func() float64 { return float64(fr.FaultStats().Readmissions) }, netL)
+		reg.CounterFunc("memcnn_fault_panics_total",
+			"Panics recovered into errors inside the engine.",
+			func() float64 { return float64(fr.FaultStats().Panics) }, netL)
+		reg.GaugeFunc("memcnn_unhealthy_replicas",
+			"Replicas currently out of rotation.",
+			func() float64 { return float64(fr.FaultStats().UnhealthyReplicas) }, netL)
+	}
+}
 
 // Close stops the workers and fails any queued requests with
 // ErrServerClosed.  It is idempotent.
@@ -308,8 +414,9 @@ func (s *BatchServer) Close() {
 // escaping the runner (contained panics surface as *PanicError already) is
 // recovered here as a last line of defence: it fails the batch, never the
 // worker or the process.
-func (s *BatchServer) worker() {
+func (s *BatchServer) worker(id int) {
 	defer s.wg.Done()
+	lane := laneServerBase + int32(id)
 	inBatch := tensor.New(s.prog.InputShape(), tensor.NCHW)
 	outBatch := tensor.New(s.prog.OutputShape(), tensor.NCHW)
 	batch := make([]*request, 0, s.cfg.MaxBatch)
@@ -320,6 +427,11 @@ func (s *BatchServer) worker() {
 		case <-s.stop:
 			return
 		case r := <-s.reqs:
+			rec := s.trace.Load()
+			var coalesceT0 int64
+			if rec != nil {
+				coalesceT0 = rec.Now()
+			}
 			batch = append(batch[:0], r)
 			if s.cfg.MaxBatch > 1 {
 				timer.Reset(s.cfg.MaxDelay)
@@ -350,7 +462,32 @@ func (s *BatchServer) worker() {
 				live = append(live, r)
 			}
 			if len(live) > 0 {
-				s.serveBatch(inBatch, outBatch, live)
+				// Record each request's queue wait; the span covers the
+				// oldest request's wait so the trace shows how long the
+				// batch's slowest admission sat before dispatch.
+				now := time.Now()
+				var oldest time.Duration
+				for _, r := range live {
+					w := now.Sub(r.enq)
+					if w > oldest {
+						oldest = w
+					}
+					s.queueWait.Observe(float64(w) / 1e3)
+				}
+				if rec != nil {
+					t1 := rec.Now()
+					rec.Record(obs.Span{
+						Name: "queue wait", Cat: obs.CatQueue, Lane: lane,
+						StartNS: t1 - int64(oldest), DurNS: int64(oldest),
+						Images: len(live),
+					})
+					rec.Record(obs.Span{
+						Name: "coalesce", Cat: obs.CatCoalesce, Lane: lane,
+						StartNS: coalesceT0, DurNS: t1 - coalesceT0,
+						Images: len(live),
+					})
+				}
+				s.serveBatch(lane, inBatch, outBatch, live)
 			}
 		}
 	}
@@ -386,7 +523,7 @@ func batchContext(batch []*request) (context.Context, context.CancelFunc) {
 
 // serveBatch packs the requests into the staging batch, runs the planned
 // program once and slices the results back out per request.
-func (s *BatchServer) serveBatch(inBatch, outBatch *tensor.Tensor, batch []*request) {
+func (s *BatchServer) serveBatch(lane int32, inBatch, outBatch *tensor.Tensor, batch []*request) {
 	in := s.prog.InputShape()
 	chw := in.C * in.H * in.W
 	for slot, r := range batch {
@@ -398,20 +535,29 @@ func (s *BatchServer) serveBatch(inBatch, outBatch *tensor.Tensor, batch []*requ
 	clear(inBatch.Data[len(batch)*chw:])
 
 	runCtx, cancel := batchContext(batch)
+	rec := s.trace.Load()
+	var batchT0 int64
+	if rec != nil {
+		batchT0 = rec.Now()
+	}
 	start := time.Now()
 	err := func() (err error) {
 		defer containPanic("server batch", &err)
 		return s.exec.RunIntoCtx(runCtx, inBatch, outBatch)
 	}()
+	elapsed := time.Since(start)
 	cancel()
 	if err == nil {
 		// Feed the admission-control estimate from successful batches only;
 		// failed ones (faults, cancellations) do not measure capacity.
-		e := time.Since(start).Nanoseconds()
-		if old := s.batchNS.Load(); old > 0 {
-			e = (3*old + e) / 4
-		}
-		s.batchNS.Store(e)
+		s.batchLat.Observe(float64(elapsed) / 1e3)
+	}
+	if rec != nil {
+		rec.Record(obs.Span{
+			Name: "batch", Cat: obs.CatBatch, Lane: lane,
+			StartNS: batchT0, DurNS: int64(elapsed),
+			Images: len(batch),
+		})
 	}
 	s.batches.Add(1)
 	s.requests.Add(uint64(len(batch)))
