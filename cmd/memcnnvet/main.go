@@ -1,0 +1,66 @@
+// Command memcnnvet is the repository's custom multichecker: it runs the
+// internal/analyzers passes — noalloc, ctxflow, atomicalign — over the given
+// package patterns and exits non-zero on any finding.  CI runs it next to
+// `go vet` as a dedicated, build-failing step:
+//
+//	go run ./cmd/memcnnvet ./...
+//
+// Findings print one per line as file:line:col: [analyzer] message.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memcnn/internal/analyzers"
+)
+
+func main() {
+	var only string
+	flag.StringVar(&only, "run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: memcnnvet [-run analyzers] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	selected := analyzers.All()
+	if only != "" {
+		byName := make(map[string]*analyzers.Analyzer)
+		for _, a := range analyzers.All() {
+			byName[a.Name] = a
+		}
+		selected = selected[:0]
+		for _, name := range strings.Split(only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "memcnnvet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memcnnvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analyzers.Load(dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memcnnvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analyzers.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -106,6 +106,22 @@
 // cmd/benchtrend gates the normalised step latency and the (deterministic)
 // planned training footprint in CI.
 //
+// A static verification layer guards the whole compiled surface.
+// internal/runtime/verify checks every compiled program — inference,
+// training and per-stage sharded alike — against the IR contract the
+// executors rely on: def-before-use dataflow, sound alias chains, in-place
+// update hazards, kernel workspace sufficiency, memory-plan/liveness
+// consistency and accumulation-order determinism, each violation reported
+// as a diagnostic naming the offending op and buffer.  Tests run the
+// checker over every compiler output unconditionally, and
+// runtime.Options.Verify / train.Options.Verify make compilation itself
+// fail-closed.  Alongside the IR checker, internal/analyzers implements
+// repository-specific source lint passes — noalloc (functions annotated
+// //memcnn:noalloc must not heap-allocate), ctxflow (call sites must not
+// drop an available context.Context) and atomicalign (64-bit atomics on
+// alignment-safe, never mixed-access struct fields) — which
+// cmd/memcnnvet runs as a build-failing CI step next to go vet.
+//
 // The public entry points live under internal/ because the module is a
 // self-contained reproduction rather than an importable SDK; the cmd/ tools
 // and examples/ programs show every supported workflow, and bench_test.go

@@ -1,0 +1,146 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicAlign verifies 64-bit atomic struct-field access.
+//
+// On 32-bit targets the sync/atomic 64-bit operations require their operand
+// to be 8-byte aligned, but struct fields are only guaranteed 4-byte
+// alignment there.  The pass recomputes the offset of every struct field
+// passed to a 64-bit sync/atomic function under 32-bit ("gc"/386) layout
+// rules and flags any field whose offset is not a multiple of 8 — the same
+// discipline `go vet`'s atomicalign applies, but enforced regardless of the
+// build host so a 64-bit-only CI still catches it.
+//
+// It also flags plain (non-atomic) reads or writes of fields the package
+// accesses atomically elsewhere: mixing the two hides the data race the
+// atomic was meant to remove.  Fields wrapped in the atomic.Int64/Uint64/
+// Pointer types are immune by construction and never flagged.
+var AtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "verify 64-bit atomically-accessed struct fields are alignment-safe and never mixed with plain access",
+	Run:  runAtomicAlign,
+}
+
+// sizes32 models the strictest supported layout: 32-bit words, where 64-bit
+// fields land on 4-byte boundaries unless the preceding fields align them.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicAlign(pass *Pass) {
+	atomicFields := make(map[*types.Var]token.Pos) // fields accessed via 64-bit atomics
+	sanctioned := make(map[*ast.SelectorExpr]bool) // selectors inside atomic call operands
+	var plainUses []*ast.SelectorExpr              // every other field selector
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn64 := atomic64Callee(pass, call); fn64 != "" && len(call.Args) > 0 {
+					if sel := addressedField(call.Args[0]); sel != nil {
+						s := pass.Info.Selections[sel]
+						if s != nil && s.Kind() == types.FieldVal {
+							field := s.Obj().(*types.Var)
+							atomicFields[field] = sel.Pos()
+							sanctioned[sel] = true
+							if off, ok := fieldOffset32(s); ok && off%8 != 0 {
+								pass.Reportf(sel.Pos(), "%s: address of 64-bit field %s is not 8-byte aligned on 32-bit targets (offset %d); move the field first in the struct or use atomic.%s",
+									fn64, field.Name(), off, suggestedWrapper(field))
+							}
+						}
+					}
+				}
+				return true
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok && !sanctioned[sel] {
+				plainUses = append(plainUses, sel)
+			}
+			return true
+		})
+	}
+
+	for _, sel := range plainUses {
+		s := pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			continue
+		}
+		field, ok := s.Obj().(*types.Var)
+		if !ok {
+			continue
+		}
+		if _, atomicUse := atomicFields[field]; atomicUse && !sanctioned[sel] {
+			pass.Reportf(sel.Pos(), "plain access of field %s, which is accessed with 64-bit atomics elsewhere; all access must go through sync/atomic", field.Name())
+		}
+	}
+}
+
+// atomic64Callee returns the sync/atomic function name when the call is one
+// of the 64-bit operations (AddInt64, LoadUint64, StoreInt64, SwapUint64,
+// CompareAndSwapInt64, ...), and "" otherwise.
+func atomic64Callee(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return ""
+	}
+	if !strings.HasSuffix(sel.Sel.Name, "64") {
+		return ""
+	}
+	return "atomic." + sel.Sel.Name
+}
+
+// addressedField unwraps &x.f (possibly parenthesised) to the selector.
+func addressedField(arg ast.Expr) *ast.SelectorExpr {
+	un, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, _ := unparen(un.X).(*ast.SelectorExpr)
+	return sel
+}
+
+// fieldOffset32 computes the selected field's byte offset from the start of
+// its outermost containing allocation under 32-bit layout, following the
+// selection's embedded-field path.  A pointer crossing restarts the offset:
+// the pointed-to struct is its own allocation, and Go guarantees the first
+// word of an allocation is 64-bit aligned.
+func fieldOffset32(s *types.Selection) (int64, bool) {
+	t := s.Recv()
+	var offset int64
+	for _, idx := range s.Index() {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			offset = 0
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return 0, false
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		offsets := sizes32.Offsetsof(fields)
+		offset += offsets[idx]
+		t = st.Field(idx).Type()
+	}
+	return offset, true
+}
+
+// suggestedWrapper names the sync/atomic wrapper type matching the field.
+func suggestedWrapper(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+		return "Uint64"
+	}
+	return "Int64"
+}

@@ -32,9 +32,11 @@ import (
 // parallelPlanes runs work(p) for p in [0, planes) across GOMAXPROCS workers.
 // Each plane is processed by exactly one worker, so kernels that assign each
 // output element to one plane stay bit-deterministic for any worker count.
+//
+//memcnn:noalloc
 func parallelPlanes(planes int, work func(p int)) {
 	var next atomic.Int64
-	drain := func() {
+	drain := func() { //memcnn:alloc-ok
 		for {
 			p := next.Add(1) - 1
 			if p >= int64(planes) {
@@ -51,7 +53,7 @@ func parallelPlanes(planes int, work func(p int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //memcnn:alloc-ok
 			defer wg.Done()
 			drain()
 		}()
@@ -81,6 +83,8 @@ func ConvBackwardData(dOut, filters *tensor.Tensor, cfg ConvConfig, outLayout te
 // prior contents do not matter.  Each (n, c) plane is computed by exactly one
 // worker with a fixed accumulation order, so the result is bit-deterministic
 // for any worker count.
+//
+//memcnn:noalloc
 func ConvBackwardDataInto(dOut, filters, dIn *tensor.Tensor, cfg ConvConfig) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -96,7 +100,7 @@ func ConvBackwardDataInto(dOut, filters, dIn *tensor.Tensor, cfg ConvConfig) err
 		return fmt.Errorf("kernels: backward-data dIn shape %v does not match config %v", dIn.Shape, cfg.InputShape())
 	}
 	outH, outW := cfg.OutH(), cfg.OutW()
-	parallelPlanes(cfg.N*cfg.C, func(p int) {
+	parallelPlanes(cfg.N*cfg.C, func(p int) { //memcnn:alloc-ok
 		n, c := p/cfg.C, p%cfg.C
 		for ih := 0; ih < cfg.H; ih++ {
 			for iw := 0; iw < cfg.W; iw++ {
@@ -151,6 +155,8 @@ func ConvBackwardFilter(in, dOut *tensor.Tensor, cfg ConvConfig) (*tensor.Tensor
 // filter shape.  Each (k, c) filter plane is accumulated by exactly one worker
 // in a fixed (n, oh, ow) order, so the result is bit-deterministic for any
 // worker count.
+//
+//memcnn:noalloc
 func ConvBackwardFilterInto(in, dOut, dW *tensor.Tensor, cfg ConvConfig) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -166,7 +172,7 @@ func ConvBackwardFilterInto(in, dOut, dW *tensor.Tensor, cfg ConvConfig) error {
 		return fmt.Errorf("kernels: backward-filter dW shape %v does not match config %v", dW.Shape, cfg.FilterShape())
 	}
 	outH, outW := cfg.OutH(), cfg.OutW()
-	parallelPlanes(cfg.K*cfg.C, func(p int) {
+	parallelPlanes(cfg.K*cfg.C, func(p int) { //memcnn:alloc-ok
 		k, c := p/cfg.C, p%cfg.C
 		for fh := 0; fh < cfg.FH; fh++ {
 			for fw := 0; fw < cfg.FW; fw++ {
@@ -280,6 +286,8 @@ func PoolBackward(in, dOut *tensor.Tensor, cfg PoolConfig) (*tensor.Tensor, erro
 // before accumulating into it), so arena-recycled storage needs no clearing.
 // Each plane is owned by exactly one worker with a fixed window order, so the
 // result is bit-deterministic for any worker count.
+//
+//memcnn:noalloc
 func PoolBackwardInto(in, dOut, dIn *tensor.Tensor, cfg PoolConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -294,7 +302,7 @@ func PoolBackwardInto(in, dOut, dIn *tensor.Tensor, cfg PoolConfig) error {
 		return fmt.Errorf("kernels: pool backward dIn shape %v does not match config %v", dIn.Shape, cfg.InputShape())
 	}
 	outH, outW := cfg.OutH(), cfg.OutW()
-	parallelPlanes(cfg.N*cfg.C, func(p int) {
+	parallelPlanes(cfg.N*cfg.C, func(p int) { //memcnn:alloc-ok
 		n, c := p/cfg.C, p%cfg.C
 		for h := 0; h < cfg.H; h++ {
 			for w := 0; w < cfg.W; w++ {
@@ -383,6 +391,8 @@ func SoftmaxCrossEntropyBackward(probs []float32, labels []int, cfg SoftmaxConfi
 // SoftmaxCrossEntropyBackwardInto is the allocation-free variant of
 // SoftmaxCrossEntropyBackward, writing the logit gradient into a
 // caller-provided slice of at least cfg.Elems() elements.
+//
+//memcnn:noalloc
 func SoftmaxCrossEntropyBackwardInto(grad, probs []float32, labels []int, cfg SoftmaxConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -416,6 +426,8 @@ func SoftmaxCrossEntropyBackwardInto(grad, probs []float32, labels []int, cfg So
 // SoftmaxCrossEntropyBackwardFloatInto is SoftmaxCrossEntropyBackwardInto
 // with the labels carried as float32 values (rounded class indices), the form
 // they take inside a planned training program's float32 arena.
+//
+//memcnn:noalloc
 func SoftmaxCrossEntropyBackwardFloatInto(grad, probs, labels []float32, cfg SoftmaxConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -542,6 +554,8 @@ func ReLUBackward(in, dOut *tensor.Tensor) (*tensor.Tensor, error) {
 // element of dIn is overwritten.  When all three tensors share a layout it is
 // a single linear pass over the backing slices; dIn may alias dOut (the mask
 // reads in, writes only dIn).
+//
+//memcnn:noalloc
 func ReLUBackwardInto(in, dOut, dIn *tensor.Tensor) error {
 	if in.Shape != dOut.Shape {
 		return fmt.Errorf("kernels: relu backward shape mismatch %v vs %v", in.Shape, dOut.Shape)

@@ -38,6 +38,8 @@ func ConvDirect(in, filters *tensor.Tensor, cfg ConvConfig, outLayout tensor.Lay
 // a caller-provided output tensor of the config's output shape (any layout).
 // Every output element is overwritten, so the destination's prior contents do
 // not matter.
+//
+//memcnn:noalloc
 func ConvDirectInto(in, filters, out *tensor.Tensor, cfg ConvConfig) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -59,7 +61,7 @@ func ConvDirectInto(in, filters, out *tensor.Tensor, cfg ConvConfig) error {
 	// stays inline and allocation free.
 	var next atomic.Int64
 	planes := int64(cfg.N * cfg.K)
-	plane := func() {
+	plane := func() { //memcnn:alloc-ok
 		for {
 			p := next.Add(1) - 1
 			if p >= planes {
@@ -97,7 +99,7 @@ func ConvDirectInto(in, filters, out *tensor.Tensor, cfg ConvConfig) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //memcnn:alloc-ok
 			defer wg.Done()
 			plane()
 		}()

@@ -117,6 +117,8 @@ func ConvFFTWorkspaceElems(cfg ConvConfig) int {
 // accepted; the accumulation order is fixed, so results are bit-identical
 // across layouts, batch splits and worker counts.  With a single worker the
 // kernel performs no heap allocation at all.
+//
+//memcnn:noalloc
 func ConvFFTInto(in, filters, out *tensor.Tensor, cfg ConvConfig, scratch []float32) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -150,10 +152,10 @@ func ConvFFTInto(in, filters, out *tensor.Tensor, cfg ConvConfig, scratch []floa
 		}
 		return nil
 	}
-	fftParallel(workers, cfg.K*cfg.C, func(idx, _ int) {
+	fftParallel(workers, cfg.K*cfg.C, func(idx, _ int) { //memcnn:alloc-ok
 		convFFTFilterBlock(filters, cfg, idx, filtArea, pR, pC)
 	})
-	fftParallel(workers, cfg.N, func(n, w int) {
+	fftParallel(workers, cfg.N, func(n, w int) { //memcnn:alloc-ok
 		convFFTImage(in, out, cfg, n, workArea[w*perWorker:(w+1)*perWorker], filtArea, pR, pC)
 	})
 	return nil
@@ -162,12 +164,14 @@ func ConvFFTInto(in, filters, out *tensor.Tensor, cfg ConvConfig, scratch []floa
 // fftParallel runs f(job, worker) for job in [0, jobs) on `workers`
 // goroutines pulling jobs from an atomic counter.  Each job index runs
 // exactly once and each worker index is private to one goroutine.
+//
+//memcnn:noalloc
 func fftParallel(workers, jobs int, f func(job, worker int)) {
 	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int) { //memcnn:alloc-ok
 			defer wg.Done()
 			for {
 				job := int(atomic.AddInt64(&next, 1)) - 1

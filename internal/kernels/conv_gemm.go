@@ -96,6 +96,8 @@ func ConvGemmWorkspaceElems(cfg ConvConfig, outLayout tensor.Layout) int {
 // the accumulation order per output element is fixed by GemmInto, so results
 // are bit-identical to ConvIm2colGemm regardless of layout, batching or
 // worker count.
+//
+//memcnn:noalloc
 func ConvIm2colGemmInto(in *tensor.Tensor, packed []float32, out *tensor.Tensor, cfg ConvConfig, scratch []float32) error {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {

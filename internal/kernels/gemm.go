@@ -57,6 +57,8 @@ func Gemm(a []float32, b []float32, m, n, k int) ([]float32, error) {
 // order of every output element — ascending k, rounded to float32 at
 // gemmKBlock boundaries — is fixed regardless of the panel split, so results
 // are bit-identical across GOMAXPROCS settings and repeated runs.
+//
+//memcnn:noalloc
 func GemmInto(a, b, c []float32, m, n, k int) error {
 	if err := gemmCheck(a, b, m, n, k); err != nil {
 		return err
@@ -87,7 +89,7 @@ func GemmInto(a, b, c []float32, m, n, k int) error {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int) { //memcnn:alloc-ok
 			defer wg.Done()
 			gemmPanel(a, b, c, lo, hi, n, k)
 		}(lo, hi)

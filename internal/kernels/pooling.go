@@ -34,6 +34,8 @@ func Pool(in *tensor.Tensor, cfg PoolConfig) (*tensor.Tensor, error) {
 // caller-provided output tensor of the config's output shape (any layout).
 // Every output element is overwritten, so the destination's prior contents do
 // not matter.
+//
+//memcnn:noalloc
 func PoolInto(in, out *tensor.Tensor, cfg PoolConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -51,7 +53,7 @@ func PoolInto(in, out *tensor.Tensor, cfg PoolConfig) error {
 	// stays inline and allocation free.
 	var next atomic.Int64
 	planes := int64(cfg.N * cfg.C)
-	plane := func() {
+	plane := func() { //memcnn:alloc-ok
 		for {
 			p := next.Add(1) - 1
 			if p >= planes {
@@ -73,7 +75,7 @@ func PoolInto(in, out *tensor.Tensor, cfg PoolConfig) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func() { //memcnn:alloc-ok
 			defer wg.Done()
 			plane()
 		}()

@@ -33,6 +33,8 @@ func Softmax(in []float32, cfg SoftmaxConfig) ([]float32, error) {
 // SoftmaxInto computes the row-wise softmax of src into the caller-provided
 // dst (both N×Classes row-major) without allocating.  dst may alias src: each
 // row is read fully for its maximum before anything is written.
+//
+//memcnn:noalloc
 func SoftmaxInto(dst, src []float32, cfg SoftmaxConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -62,7 +64,7 @@ func SoftmaxInto(dst, src []float32, cfg SoftmaxConfig) error {
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(lo, hi int) { //memcnn:alloc-ok
 			defer wg.Done()
 			for n := lo; n < hi; n++ {
 				row := in[n*cfg.Classes : (n+1)*cfg.Classes]

@@ -39,6 +39,8 @@ func renderLabels(labels []Label) string {
 type Counter struct{ v atomic.Uint64 }
 
 // Add increments the counter.  Nil-safe.
+//
+//memcnn:noalloc
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -46,9 +48,13 @@ func (c *Counter) Add(n uint64) {
 }
 
 // Inc increments the counter by one.  Nil-safe.
+//
+//memcnn:noalloc
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count.  Nil-safe.
+//
+//memcnn:noalloc
 func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
@@ -61,6 +67,8 @@ func (c *Counter) Value() uint64 {
 type FloatCounter struct{ bits atomic.Uint64 }
 
 // Add increments the counter.  Nil-safe, lock-free (CAS loop).
+//
+//memcnn:noalloc
 func (c *FloatCounter) Add(v float64) {
 	if c == nil {
 		return
@@ -74,6 +82,8 @@ func (c *FloatCounter) Add(v float64) {
 }
 
 // Value returns the current total.  Nil-safe.
+//
+//memcnn:noalloc
 func (c *FloatCounter) Value() float64 {
 	if c == nil {
 		return 0
@@ -85,6 +95,8 @@ func (c *FloatCounter) Value() float64 {
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores the gauge value.  Nil-safe.
+//
+//memcnn:noalloc
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -92,6 +104,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Value returns the gauge value.  Nil-safe.
+//
+//memcnn:noalloc
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
@@ -137,6 +151,8 @@ type Histogram struct {
 func NewHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one latency in microseconds.  Nil-safe, allocation-free.
+//
+//memcnn:noalloc
 func (h *Histogram) Observe(us float64) {
 	if h == nil {
 		return
@@ -152,6 +168,8 @@ func (h *Histogram) Observe(us float64) {
 }
 
 // bucketFor maps a microsecond latency onto its bucket index.
+//
+//memcnn:noalloc
 func bucketFor(us float64) int {
 	if us <= HistMinUS {
 		return 0

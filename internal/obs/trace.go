@@ -129,6 +129,8 @@ func NewRecorder(capacity int) *Recorder {
 
 // Now returns the recorder's clock: nanoseconds since its epoch, the timebase
 // Span.StartNS lives in.  Nil-safe (returns 0), monotonic, allocation-free.
+//
+//memcnn:noalloc
 func (r *Recorder) Now() int64 {
 	if r == nil {
 		return 0
@@ -138,6 +140,8 @@ func (r *Recorder) Now() int64 {
 
 // Record appends one span, evicting the oldest when the ring is full.
 // Nil-safe and allocation-free: the span value is copied into its slot.
+//
+//memcnn:noalloc
 func (r *Recorder) Record(sp Span) {
 	if r == nil {
 		return

@@ -180,4 +180,42 @@
 // executor into a step/epoch loop.  Note the naming split: core.Optimizer is
 // the paper's layout planner, while the gradient-descent optimiser (SGD)
 // lives here.
+//
+// # Verified IR contract
+//
+// A compiled Program is a closed intermediate representation with invariants
+// every executor assumes, and the verify sub-package checks all of them
+// statically: every buffer an op reads holds a defined value at that point
+// (def-before-use over the linear op list, with alias-aware write tracking);
+// alias chains are acyclic, point at reinterpret-compatible views and share
+// their root's arena offset; an op may write a buffer whose root it also
+// reads only when the layer declared in-place safety for exactly that shape
+// and layout; every kernel that needs workspace has a scratch buffer at
+// least as large as the layer's declared requirement (GEMM unroll, FFT
+// spectrum planes, flatten staging); the memory plan's live ranges match a
+// recomputed liveness analysis and the packed offsets never overlap two
+// simultaneously-live buffers; training graphs recompute each checkpointed
+// activation at most once, run every OpSGD after its layer's OpGradFilter
+// and never touch a layer's weights after its update; and every op pins an
+// accumulation order (a known algorithm), keeping results bit-deterministic.
+// verify.Sharded extends the contract across pipeline-stage boundaries
+// (contiguous tiling, boundary buffer identity, declared transfer sizes).
+//
+// Compile, CompileWithOptions, CompileLike, CompileFixedAlg, Shard and
+// train.CompileTraining all run the checker when Options.Verify is set (the
+// caller must import memcnn/internal/runtime/verify, which registers itself
+// via RegisterVerifier — the indirection keeps the IR package free of a
+// dependency on its own checker), and the test suite verifies every
+// compiler output unconditionally, so the executors' assumptions are
+// machine-checked on each change.
+//
+// Relatedly, the hot kernels the programs dispatch to are annotated
+// //memcnn:noalloc: the directive (checked by internal/analyzers and
+// cmd/memcnnvet) forbids heap allocation in the function body — closures,
+// make/new/append, fmt/errors calls, slice/map literals, string building —
+// except inside return statements (error paths run at most once) and on
+// lines explicitly acknowledged with //memcnn:alloc-ok (the goroutine
+// fan-out of the parallel kernels).  The annotation documents and enforces
+// the steady-state-allocation-free contract this package's arena discipline
+// depends on.
 package runtime

@@ -188,6 +188,15 @@ type Options struct {
 	// arena storage and the memory plan shrinks; results are bit-identical
 	// either way.  The flag exists to measure that shrinkage.
 	NoInPlace bool
+	// Verify runs the registered whole-program static checker
+	// (internal/runtime/verify) over the lowered program — and, for Shard,
+	// over every stage sub-program — before it is returned: def-before-use
+	// dataflow, alias-chain soundness, in-place clobber detection, workspace
+	// sufficiency, plan/liveness consistency and the determinism lint.
+	// Compilation fails if any check does.  The checker must be registered
+	// (import memcnn/internal/runtime/verify); derived programs
+	// (CompileLike, replica sub-batch clones) inherit the flag.
+	Verify bool
 }
 
 // Compile lowers an execution plan into a program: each layer becomes an
@@ -284,8 +293,9 @@ func CompileLike(base *Program, net *network.Network) (*Program, error) {
 		return nil, fmt.Errorf("runtime: base program has %d layer ops for %d layers", li, len(net.Layers))
 	}
 	// Algorithm selection is pinned through forced; the remaining lowering
-	// choices (in-place aliasing) follow the base program's options.
-	return lower(net, base.PlannerName, layouts, Options{NoInPlace: base.Opts.NoInPlace}, forced)
+	// choices (in-place aliasing, verification) follow the base program's
+	// options.
+	return lower(net, base.PlannerName, layouts, Options{NoInPlace: base.Opts.NoInPlace, Verify: base.Opts.Verify}, forced)
 }
 
 // CompileFixed lowers a network with every layer in one layout, the
@@ -441,5 +451,10 @@ func lower(net *network.Network, plannerName string, layouts []tensor.Layout, op
 		return nil, err
 	}
 	p.Mem = mem
+	if opts.Verify {
+		if err := VerifyProgram(p); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }

@@ -248,7 +248,17 @@ func (p *Program) Savings() float64 {
 // Validate checks the memory plan's central invariant: no two root buffers
 // whose live ranges intersect overlap in the arena, and every buffer lies
 // inside the arena.
+//
+// Rather than comparing all O(n²) buffer pairs, it sweeps the op timeline:
+// each root enters the active set at Live.Def and leaves after Live.LastUse,
+// and the active set is kept sorted by arena offset.  Because the extents
+// already in the set are pairwise disjoint (or a violation would have been
+// reported when the later one entered), a newcomer can only overlap its
+// immediate offset-order neighbours, so each insertion is one binary search
+// plus two boundary checks — O(n log n) overall, which keeps verifying
+// VGG-scale training plans cheap enough to run on every compile.
 func (m *MemPlan) Validate(p *Program) error {
+	roots := make([]BufferID, 0, len(p.Buffers))
 	for i := range p.Buffers {
 		bi := p.Buffers[i]
 		if m.Offsets[i] < 0 || m.Offsets[i]+bi.Elems() > m.ArenaElems {
@@ -261,20 +271,68 @@ func (m *MemPlan) Validate(p *Program) error {
 			}
 			continue
 		}
-		for j := i + 1; j < len(p.Buffers); j++ {
-			bj := p.Buffers[j]
-			if bj.AliasOf != NoBuffer {
-				continue
-			}
-			if !m.Live[i].overlaps(m.Live[j]) {
-				continue
-			}
-			if m.Offsets[i] < m.Offsets[j]+bj.Elems() && m.Offsets[j] < m.Offsets[i]+bi.Elems() {
-				return fmt.Errorf("runtime: live buffers %d [%d,%d) and %d [%d,%d) overlap",
-					i, m.Offsets[i], m.Offsets[i]+bi.Elems(),
-					j, m.Offsets[j], m.Offsets[j]+bj.Elems())
-			}
+		roots = append(roots, BufferID(i))
+	}
+
+	// Timeline events: enter at Def, leave after LastUse.  At equal times
+	// leaves precede enters — live ranges are inclusive on both ends, so a
+	// buffer defined at t does conflict with one last read at t but not with
+	// one last read at t-1.
+	type event struct {
+		t     int
+		enter bool
+		id    BufferID
+	}
+	events := make([]event, 0, 2*len(roots))
+	for _, id := range roots {
+		lv := m.Live[id]
+		events = append(events, event{t: lv.Def, enter: true, id: id})
+		events = append(events, event{t: lv.LastUse + 1, enter: false, id: id})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
 		}
+		return !events[i].enter && events[j].enter
+	})
+
+	type extent struct {
+		off, end int
+		id       BufferID
+	}
+	active := make([]extent, 0, len(roots))
+	for _, ev := range events {
+		off := m.Offsets[ev.id]
+		k := sort.Search(len(active), func(i int) bool { return active[i].off >= off })
+		if !ev.enter {
+			for k < len(active) && active[k].id != ev.id {
+				k++ // zero-sized extents can tie on offset
+			}
+			if k < len(active) {
+				active = append(active[:k], active[k+1:]...)
+			}
+			continue
+		}
+		end := off + p.Buffers[ev.id].Elems()
+		other := NoBuffer
+		switch {
+		case k > 0 && active[k-1].end > off:
+			other = active[k-1].id
+		case k < len(active) && end > active[k].off:
+			other = active[k].id
+		}
+		if other != NoBuffer {
+			i, j := ev.id, other
+			if j < i {
+				i, j = j, i
+			}
+			return fmt.Errorf("runtime: live buffers %d [%d,%d) and %d [%d,%d) overlap",
+				i, m.Offsets[i], m.Offsets[i]+p.Buffers[i].Elems(),
+				j, m.Offsets[j], m.Offsets[j]+p.Buffers[j].Elems())
+		}
+		active = append(active, extent{})
+		copy(active[k+1:], active[k:])
+		active[k] = extent{off: off, end: end, id: ev.id}
 	}
 	return nil
 }

@@ -1,0 +1,108 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"memcnn/internal/tensor"
+)
+
+// bruteForceValidate is the original O(n²) pairwise check, kept as the
+// reference the sweep-based Validate is held against.
+func bruteForceValidate(m *MemPlan, p *Program) error {
+	for i := range p.Buffers {
+		bi := p.Buffers[i]
+		if m.Offsets[i] < 0 || m.Offsets[i]+bi.Elems() > m.ArenaElems {
+			return fmt.Errorf("buffer %d outside arena", i)
+		}
+		if bi.AliasOf != NoBuffer {
+			if m.Offsets[i] != m.Offsets[p.root(BufferID(i))] {
+				return fmt.Errorf("alias %d offset mismatch", i)
+			}
+			continue
+		}
+		for j := i + 1; j < len(p.Buffers); j++ {
+			bj := p.Buffers[j]
+			if bj.AliasOf != NoBuffer || !m.Live[i].overlaps(m.Live[j]) {
+				continue
+			}
+			if m.Offsets[i] < m.Offsets[j]+bj.Elems() && m.Offsets[j] < m.Offsets[i]+bi.Elems() {
+				return fmt.Errorf("buffers %d and %d overlap", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// TestValidateSweepMatchesBruteForce fuzzes random plans — valid and broken —
+// and checks the sweep's verdict (accept/reject) always matches the pairwise
+// reference.  Offsets are drawn from a range narrow enough that collisions
+// between concurrently-live buffers are common.
+func TestValidateSweepMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		n := 2 + rng.Intn(12)
+		p := &Program{}
+		m := &MemPlan{ArenaElems: 64}
+		for i := 0; i < n; i++ {
+			elems := 1 + rng.Intn(8)
+			p.Buffers = append(p.Buffers, Buffer{
+				ID:      BufferID(i),
+				Shape:   tensor.Shape{N: 1, C: 1, H: 1, W: elems},
+				Layout:  tensor.NCHW,
+				AliasOf: NoBuffer,
+			})
+			def := rng.Intn(10)
+			m.Live = append(m.Live, Interval{Def: def, LastUse: def + rng.Intn(6)})
+			m.Offsets = append(m.Offsets, rng.Intn(24))
+		}
+		// Turn a few buffers into aliases of earlier ones — usually sharing
+		// the root's offset (valid), occasionally not (must be rejected).
+		for i := 1; i < n; i++ {
+			if rng.Intn(5) != 0 {
+				continue
+			}
+			r := rng.Intn(i)
+			if p.Buffers[r].AliasOf != NoBuffer {
+				continue
+			}
+			p.Buffers[i].AliasOf = BufferID(r)
+			p.Buffers[i].Shape = p.Buffers[r].Shape
+			if rng.Intn(4) != 0 {
+				m.Offsets[i] = m.Offsets[r]
+			}
+			m.Live[i] = m.Live[r]
+		}
+
+		got := m.Validate(p)
+		want := bruteForceValidate(m, p)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("trial %d: sweep says %v, brute force says %v\nbuffers: %+v\noffsets: %v\nlive: %v",
+				trial, got, want, p.Buffers, m.Offsets, m.Live)
+		}
+	}
+}
+
+// TestValidateSweepRejectsOverlap pins the exact diagnostic format on a
+// hand-built overlapping plan: the message must name both buffers and their
+// extents, as the original pairwise Validate did.
+func TestValidateSweepRejectsOverlap(t *testing.T) {
+	p := &Program{Buffers: []Buffer{
+		{ID: 0, Shape: tensor.Shape{N: 1, C: 1, H: 1, W: 8}, Layout: tensor.NCHW, AliasOf: NoBuffer},
+		{ID: 1, Shape: tensor.Shape{N: 1, C: 1, H: 1, W: 8}, Layout: tensor.NCHW, AliasOf: NoBuffer},
+	}}
+	m := &MemPlan{
+		Offsets:    []int{0, 4},
+		Live:       []Interval{{Def: 0, LastUse: 2}, {Def: 1, LastUse: 3}},
+		ArenaElems: 16,
+	}
+	err := m.Validate(p)
+	if err == nil {
+		t.Fatal("overlapping live buffers accepted")
+	}
+	want := "runtime: live buffers 0 [0,8) and 1 [4,12) overlap"
+	if err.Error() != want {
+		t.Fatalf("diagnostic %q, want %q", err, want)
+	}
+}

@@ -166,6 +166,16 @@ func Shard(p *Program, stages int, opts ShardOptions) (*ShardedProgram, error) {
 		sp.Stages = append(sp.Stages, st)
 		first = last + 1
 	}
+	if p.Opts.Verify {
+		// The base program was verified at compile time; the cut re-indexes
+		// buffers and re-roots alias chains, so each stage sub-program must
+		// survive the same checks on its own.
+		for _, st := range sp.Stages {
+			if err := VerifyProgram(st.Prog); err != nil {
+				return nil, fmt.Errorf("runtime: verifying stage %d [%d,%d]: %w", st.Index, st.FirstOp, st.LastOp, err)
+			}
+		}
+	}
 	return sp, nil
 }
 
@@ -320,6 +330,34 @@ func subProgram(base *Program, index, first, last int) (*Program, error) {
 		sp.Ops = append(sp.Ops, op)
 	}
 	sp.Output = idmap[base.Ops[last].Out]
+
+	// The stage must be self-contained: every buffer its ops read is either
+	// the boundary input or produced by an earlier in-stage op.  Training
+	// programs break this — backward ops reach across the cut for forward
+	// activations (Aux) and the loss gradient reads the caller-staged label
+	// vector (ExtraInputs) — and before this check subProgram silently
+	// compiled such cuts into stages whose executor would read unwritten
+	// arena storage.  Reject the cut instead.
+	defined := make([]bool, len(sp.Buffers))
+	defined[sp.root(sp.Input)] = true
+	checkRead := func(op int, id BufferID) error {
+		if !defined[sp.root(id)] {
+			return fmt.Errorf("runtime: stage %d [%d,%d]: op %d (%s) reads buffer %d, whose value is produced outside the stage; the program cannot be cut here",
+				index, first, last, op, base.Ops[first+op].Name, id)
+		}
+		return nil
+	}
+	for i, op := range sp.Ops {
+		if err := checkRead(i, op.In); err != nil {
+			return nil, err
+		}
+		if op.Aux != NoBuffer {
+			if err := checkRead(i, op.Aux); err != nil {
+				return nil, err
+			}
+		}
+		defined[sp.root(op.Out)] = true
+	}
 
 	mem, err := PlanMemory(sp)
 	if err != nil {

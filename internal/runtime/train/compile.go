@@ -74,6 +74,11 @@ type Options struct {
 	Checkpoint Checkpoint
 	// SGD configures the parameter update.
 	SGD SGD
+	// Verify runs the registered whole-program static checker
+	// (internal/runtime/verify) over the compiled training step before it is
+	// returned; compilation fails if any check does.  The checker must be
+	// registered (import memcnn/internal/runtime/verify).
+	Verify bool
 }
 
 // Program is a compiled training step: a runtime.Program whose op list covers
@@ -130,6 +135,18 @@ func CompileTraining(net *network.Network, opts Options) (*Program, error) {
 		lr = DefaultLR
 	}
 
+	// finish records the Verify flag on the chosen program and, when set, runs
+	// the registered static checker over it before it escapes the compiler.
+	finish := func(tp *Program) (*Program, error) {
+		tp.Opts.Verify = opts.Verify
+		if opts.Verify {
+			if err := runtime.VerifyProgram(tp.Program); err != nil {
+				return nil, err
+			}
+		}
+		return tp, nil
+	}
+
 	switch opts.Checkpoint {
 	case CheckpointOff, CheckpointOn:
 		p, err := lowerTraining(net, sm, lr, opts.Checkpoint == CheckpointOn)
@@ -144,7 +161,7 @@ func CompileTraining(net *network.Network, opts Options) (*Program, error) {
 			}
 			p.StorePeakBytes = store.Mem.PeakBytes()
 		}
-		return p, nil
+		return finish(p)
 	case CheckpointAuto:
 		store, err := lowerTraining(net, sm, lr, false)
 		if err != nil {
@@ -156,10 +173,10 @@ func CompileTraining(net *network.Network, opts Options) (*Program, error) {
 		}
 		ckpt.StorePeakBytes = store.Mem.PeakBytes()
 		if ckpt.RecomputeOps > 0 && ckpt.Mem.PeakBytes() < store.Mem.PeakBytes() {
-			return ckpt, nil
+			return finish(ckpt)
 		}
 		store.StorePeakBytes = store.Mem.PeakBytes()
-		return store, nil
+		return finish(store)
 	default:
 		return nil, fmt.Errorf("train: unknown checkpoint policy %v", opts.Checkpoint)
 	}

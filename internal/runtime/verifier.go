@@ -1,0 +1,34 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Verifier is a whole-program static checker over the compiled IR.  Exactly
+// one implementation exists — internal/runtime/verify — but it lives in a
+// sub-package that imports this one, so it registers itself through this hook
+// at init time rather than being called directly.  Compiler entrypoints run
+// the registered verifier when Options.Verify is set; the verify package's
+// tests run it unconditionally over every compiler output.
+type Verifier func(*Program) error
+
+var verifier atomic.Pointer[Verifier]
+
+// RegisterVerifier installs the whole-program static checker the compilers
+// run behind Options.Verify.  Importing memcnn/internal/runtime/verify
+// registers its checker; the last registration wins.
+func RegisterVerifier(v Verifier) {
+	verifier.Store(&v)
+}
+
+// VerifyProgram runs the registered static checker over a compiled program.
+// It returns an error when no verifier is registered: a caller that asked for
+// verification (Options.Verify) must not silently get none — import
+// memcnn/internal/runtime/verify to register the checker.
+func VerifyProgram(p *Program) error {
+	if v := verifier.Load(); v != nil {
+		return (*v)(p)
+	}
+	return fmt.Errorf("runtime: program verification requested but no verifier is registered (import memcnn/internal/runtime/verify)")
+}
